@@ -1,0 +1,247 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact — see DESIGN.md §3 for the mapping), plus the
+// ablation benchmarks for the design choices called out in DESIGN.md §4.
+//
+// Run everything:      go test -bench=. -benchmem
+// One artifact:        go test -bench=BenchmarkFig8a -benchmem
+// Paper-scale numbers: use cmd/experiments -full instead; benchmarks run
+// the Quick configuration so the whole suite finishes in minutes.
+package setdiscovery
+
+import (
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/experiments"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/synth"
+	"setdiscovery/internal/testutil"
+	"setdiscovery/internal/tree"
+)
+
+// benchExperiment runs one experiment per iteration and reports its table
+// on the first iteration under -v.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			var sb stringsBuilder
+			if err := res.Table.Render(&sb); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// stringsBuilder avoids importing strings solely for the Builder.
+type stringsBuilder struct{ buf []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+func (s *stringsBuilder) String() string { return string(s.buf) }
+
+// --- one benchmark per paper artifact (DESIGN.md §3) ---
+
+func BenchmarkTable1a(b *testing.B) { benchExperiment(b, "table1a") }
+func BenchmarkTable1b(b *testing.B) { benchExperiment(b, "table1b") }
+func BenchmarkTable1c(b *testing.B) { benchExperiment(b, "table1c") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkFig3(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkFig4a(b *testing.B)   { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B)   { benchExperiment(b, "fig4b") }
+func BenchmarkFig5(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B)   { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)   { benchExperiment(b, "fig8b") }
+func BenchmarkSec532(b *testing.B)  { benchExperiment(b, "sec532") }
+func BenchmarkSec533(b *testing.B)  { benchExperiment(b, "sec533") }
+
+// --- shared fixtures for the ablation benchmarks ---
+
+// benchCollection is a mid-size synthetic collection (200 sets, α=0.9).
+func benchCollection(b *testing.B) *dataset.Collection {
+	b.Helper()
+	c, err := synth.Generate(synth.Params{
+		N: 200, SizeMin: 50, SizeMax: 60, Alpha: 0.9, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// --- ablations (DESIGN.md §4) ---
+
+// BenchmarkPruningAblation measures the contribution of each pruning site
+// of Algorithm 1 to root entity selection.
+func BenchmarkPruningAblation(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	variants := []struct {
+		name string
+		mk   func() *strategy.KLP
+	}{
+		{"full-pruning", func() *strategy.KLP { return strategy.NewKLP(cost.AD, 2) }},
+		{"no-sort-prune", func() *strategy.KLP { return strategy.NewKLP(cost.AD, 2).DisableSortPrune() }},
+		{"no-ul-prune", func() *strategy.KLP { return strategy.NewKLP(cost.AD, 2).DisableULPrune() }},
+		{"no-pruning", func() *strategy.KLP {
+			return strategy.NewKLP(cost.AD, 2).DisableSortPrune().DisableULPrune()
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := v.mk().Select(sub); !ok {
+					b.Fatal("selection failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGainKMemo contrasts unpruned gain-k with its memoised variant,
+// showing the paper's speedup is not mere caching.
+func BenchmarkGainKMemo(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strategy.NewGainK(2).Select(sub)
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strategy.NewGainKMemo(2).Select(sub)
+		}
+	})
+	b.Run("klp-pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			strategy.NewKLP(cost.AD, 2).Select(sub)
+		}
+	})
+}
+
+// BenchmarkMemoKey measures the canonical subset-key encoding used by the
+// Algorithm 1 cache.
+func BenchmarkMemoKey(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sub.Key(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkPartition measures sub-collection splitting via the inverted
+// index (the inner loop of every lookahead step).
+func BenchmarkPartition(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	infos := sub.InformativeEntities()
+	if len(infos) == 0 {
+		b.Fatal("no informative entities")
+	}
+	e := infos[len(infos)/2].Entity
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.Partition(e)
+	}
+}
+
+// BenchmarkInformativeEntities measures per-node candidate counting.
+func BenchmarkInformativeEntities(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.InformativeEntities()
+	}
+}
+
+// BenchmarkCeilNLog2 measures the exact ⌈n·log2 n⌉ used by every AD bound.
+func BenchmarkCeilNLog2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cost.CeilNLog2(i%100000 + 2)
+	}
+}
+
+// BenchmarkTreeBuild measures full offline construction (Algorithm 3).
+func BenchmarkTreeBuild(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	for _, bc := range []struct {
+		name string
+		mk   func() strategy.Strategy
+	}{
+		{"infogain", func() strategy.Strategy { return strategy.InfoGain{} }},
+		{"klp-k2", func() strategy.Strategy { return strategy.NewKLP(cost.AD, 2) }},
+		{"klple-k3-q10", func() strategy.Strategy { return strategy.NewKLPLE(cost.AD, 3, 10) }},
+		{"klplve-k3-q10", func() strategy.Strategy { return strategy.NewKLPLVE(cost.AD, 3, 10) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(sub, bc.mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiscovery measures one online discovery (Algorithm 2) end to end.
+func BenchmarkDiscovery(b *testing.B) {
+	c := benchCollection(b)
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := c.Set(r.Intn(c.Len()))
+		res, err := discovery.Run(c, nil, discovery.TargetOracle{Target: target},
+			discovery.Options{Strategy: strategy.NewKLP(cost.AD, 2)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Target != target {
+			b.Fatal("discovery missed")
+		}
+	}
+}
+
+// BenchmarkPublicAPI measures the facade on the paper's running example.
+func BenchmarkPublicAPI(b *testing.B) {
+	names, elems := testutil.PaperSets()
+	sets := make(map[string][]string, len(names))
+	for i, n := range names {
+		sets[n] = elems[i]
+	}
+	c, err := NewCollection(sets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle, err := c.TargetOracle("S5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Discover(nil, oracle, WithK(3))
+		if err != nil || res.Target != "S5" {
+			b.Fatal(err, res)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                     # run everything at the default scale
+//	experiments -run fig8a,table4   # run selected experiments
+//	experiments -quick              # tiny sizes (CI smoke test)
+//	experiments -full               # paper-scale sweeps (slow)
+//	experiments -list               # list experiment IDs
+//	experiments -o results.txt      # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"setdiscovery/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "tiny workloads")
+		full    = flag.Bool("full", false, "paper-scale workloads (slow)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		outPath = flag.String("o", "", "also write the report to this file")
+		verbose = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *verbose {
+		cfg.Out = os.Stderr
+	}
+
+	ids := experiments.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := res.Table.Render(out); err != nil {
+			fatal(err)
+		}
+		for _, note := range res.Notes {
+			fmt.Fprintf(out, "note: %s\n", note)
+		}
+		fmt.Fprintf(out, "(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Command setdisc runs interactive set discovery over a collection file:
+// it asks yes/no membership questions on standard input until a single
+// candidate set remains.
+//
+// Usage:
+//
+//	setdisc -collection sets.txt [-initial fever,cough] [-strategy klp]
+//	        [-k 2] [-q 10] [-metric ad|h] [-max 0] [-batch 1] [-tree]
+//
+// The collection file holds one set per line: a name, then the elements,
+// all tab-separated ('#' starts a comment). With -tree the program prints
+// the offline decision tree instead of running interactively.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"setdiscovery"
+)
+
+func main() {
+	var (
+		collectionPath = flag.String("collection", "", "path to the collection file (required)")
+		initial        = flag.String("initial", "", "comma-separated initial example entities")
+		strategyName   = flag.String("strategy", "klp", "entity selection strategy (klp, klple, klplve, infogain, most-even, indg, lb1, gaink)")
+		k              = flag.Int("k", 2, "lookahead steps")
+		q              = flag.Int("q", 10, "candidate entities per step (klple/klplve)")
+		metricName     = flag.String("metric", "ad", "cost metric: ad (average questions) or h (worst case)")
+		maxQuestions   = flag.Int("max", 0, "halt after this many questions (0 = unlimited)")
+		batch          = flag.Int("batch", 1, "membership questions per interaction")
+		showTree       = flag.Bool("tree", false, "print the offline decision tree and exit")
+		saveTree       = flag.String("save-tree", "", "build the offline tree, save it to this path, and exit")
+		loadTree       = flag.String("load-tree", "", "discover along a tree saved with -save-tree (constant per-question latency)")
+	)
+	flag.Parse()
+	if *collectionPath == "" {
+		fmt.Fprintln(os.Stderr, "setdisc: -collection is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*collectionPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := setdiscovery.ReadCollection(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d sets from %s\n", c.Len(), *collectionPath)
+
+	metric := setdiscovery.AverageDepth
+	if strings.EqualFold(*metricName, "h") {
+		metric = setdiscovery.Height
+	}
+	opts := []setdiscovery.Option{
+		setdiscovery.WithStrategy(*strategyName),
+		setdiscovery.WithK(*k),
+		setdiscovery.WithQ(*q),
+		setdiscovery.WithMetric(metric),
+		setdiscovery.WithMaxQuestions(*maxQuestions),
+		setdiscovery.WithBatchSize(*batch),
+	}
+
+	if *showTree {
+		tr, err := c.BuildTree(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("decision tree (avg %.2f questions, worst case %d):\n%s",
+			tr.AvgDepth(), tr.Height(), tr.Render())
+		return
+	}
+	if *saveTree != "" {
+		tr, err := c.BuildTree(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := os.Create(*saveTree)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteBinary(out); err != nil {
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved tree (avg %.2f questions, worst case %d) to %s\n",
+			tr.AvgDepth(), tr.Height(), *saveTree)
+		return
+	}
+
+	var init []string
+	if *initial != "" {
+		for _, s := range strings.Split(*initial, ",") {
+			init = append(init, strings.TrimSpace(s))
+		}
+	}
+
+	oracle := &stdinOracle{in: bufio.NewScanner(os.Stdin)}
+	var res *setdiscovery.Result
+	if *loadTree != "" {
+		tf, err := os.Open(*loadTree)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := c.LoadTree(tf)
+		tf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		res, err = c.DiscoverWithTree(tr, oracle)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		res, err = c.Discover(init, oracle, opts...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	switch {
+	case res.Target != "":
+		fmt.Printf("\nfound your set after %d question(s): %s\n", res.Questions, res.Target)
+		fmt.Printf("members: %s\n", strings.Join(c.Elements(res.Target), ", "))
+	case len(res.Candidates) == 0:
+		fmt.Println("\nno set matches all your answers")
+	default:
+		fmt.Printf("\nstopped with %d candidates: %s\n",
+			len(res.Candidates), strings.Join(res.Candidates, ", "))
+	}
+}
+
+// stdinOracle asks the human on the terminal.
+type stdinOracle struct {
+	in *bufio.Scanner
+}
+
+func (o *stdinOracle) Answer(entity string) setdiscovery.Answer {
+	for {
+		fmt.Printf("is %q in your set? [y/n/?] ", entity)
+		if !o.in.Scan() {
+			fmt.Println()
+			return setdiscovery.Unknown
+		}
+		switch strings.ToLower(strings.TrimSpace(o.in.Text())) {
+		case "y", "yes":
+			return setdiscovery.Yes
+		case "n", "no":
+			return setdiscovery.No
+		case "?", "dk", "dont know", "don't know":
+			return setdiscovery.Unknown
+		default:
+			fmt.Println("please answer y, n or ?")
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "setdisc:", err)
+	os.Exit(1)
+}

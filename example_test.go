@@ -1,0 +1,77 @@
+package setdiscovery_test
+
+import (
+	"fmt"
+	"log"
+
+	"setdiscovery"
+)
+
+// fig1 is the running example collection of the paper (Fig. 1).
+func fig1() *setdiscovery.Collection {
+	c, err := setdiscovery.NewCollection(map[string][]string{
+		"S1": {"a", "b", "c", "d"},
+		"S2": {"a", "d", "e"},
+		"S3": {"a", "b", "c", "d", "f"},
+		"S4": {"a", "b", "c", "g", "h"},
+		"S5": {"a", "b", "h", "i"},
+		"S6": {"a", "b", "j", "k"},
+		"S7": {"a", "b", "g"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+// Building an offline decision tree: with 3 steps of lookahead k-LP finds
+// the optimal tree of the paper's Fig. 2(a).
+func ExampleCollection_BuildTree() {
+	c := fig1()
+	tr, err := c.BuildTree(setdiscovery.WithStrategy("klp"), setdiscovery.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("avg %.3f questions, worst case %d\n", tr.AvgDepth(), tr.Height())
+	// Output:
+	// avg 2.857 questions, worst case 3
+}
+
+// Interactive discovery with a simulated user who wants S2: the initial
+// example {d} narrows the candidates to {S1, S2, S3}, and one question
+// about the optimal distinguishing entity finishes.
+func ExampleCollection_Discover() {
+	c := fig1()
+	oracle, err := c.TargetOracle("S2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Discover([]string{"d"}, oracle,
+		setdiscovery.WithStrategy("klp"), setdiscovery.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %s with %d question(s)\n", res.Target, res.Questions)
+	// Output:
+	// found S2 with 1 question(s)
+}
+
+// A custom oracle answers from whatever source is at hand — here a fixed
+// symptom list; Unknown answers are allowed and simply avoid the entity.
+func ExampleOracleFunc() {
+	c := fig1()
+	have := map[string]bool{"a": true, "b": true, "j": true, "k": true}
+	oracle := setdiscovery.OracleFunc(func(entity string) setdiscovery.Answer {
+		if have[entity] {
+			return setdiscovery.Yes
+		}
+		return setdiscovery.No
+	})
+	res, err := c.Discover(nil, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Target)
+	// Output:
+	// S6
+}

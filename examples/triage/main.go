@@ -1,0 +1,89 @@
+// Triage: the paper's opening scenario. A clinic machine holds a catalogue
+// of conditions, each described by its set of symptoms. The patient types a
+// few symptoms; the machine narrows down the matching conditions with as
+// few follow-up questions as possible.
+//
+// This example simulates the patient (who "has" viral sinusitis) and prints
+// the question transcript, comparing k-LP against plain information gain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"setdiscovery"
+)
+
+// conditions maps each condition to its symptom set. Sourced loosely from
+// common symptom checkers; the actual medicine is beside the point — this
+// is a set collection with heavy overlaps, exactly the paper's setting.
+var conditions = map[string][]string{
+	"common cold":       {"cough", "sneezing", "runny nose", "sore throat", "fatigue"},
+	"influenza":         {"fever", "cough", "fatigue", "headache", "muscle aches", "chills"},
+	"covid-19":          {"fever", "cough", "fatigue", "headache", "loss of smell", "shortness of breath"},
+	"strep throat":      {"fever", "sore throat", "swollen glands", "headache"},
+	"mononucleosis":     {"fever", "fatigue", "sore throat", "swollen glands", "rash"},
+	"viral sinusitis":   {"headache", "runny nose", "facial pain", "fatigue", "cough"},
+	"allergic rhinitis": {"sneezing", "runny nose", "itchy eyes", "congestion"},
+	"bronchitis":        {"cough", "fatigue", "shortness of breath", "chest discomfort"},
+	"pneumonia":         {"fever", "cough", "shortness of breath", "chest pain", "chills", "fatigue"},
+	"migraine":          {"headache", "nausea", "light sensitivity", "visual aura"},
+	"tension headache":  {"headache", "neck pain", "fatigue"},
+	"gastroenteritis":   {"nausea", "vomiting", "diarrhea", "fever", "fatigue"},
+	"food poisoning":    {"nausea", "vomiting", "diarrhea", "stomach cramps"},
+	"appendicitis":      {"nausea", "fever", "abdominal pain", "loss of appetite"},
+	"meningitis":        {"fever", "headache", "stiff neck", "nausea", "light sensitivity"},
+}
+
+// transcriptOracle answers from the true condition's symptom set and logs
+// each question.
+type transcriptOracle struct {
+	symptoms map[string]bool
+	log      []string
+}
+
+func (o *transcriptOracle) Answer(symptom string) setdiscovery.Answer {
+	if o.symptoms[symptom] {
+		o.log = append(o.log, fmt.Sprintf("  machine: any %s?  patient: yes", symptom))
+		return setdiscovery.Yes
+	}
+	o.log = append(o.log, fmt.Sprintf("  machine: any %s?  patient: no", symptom))
+	return setdiscovery.No
+}
+
+func main() {
+	c, err := setdiscovery.NewCollection(conditions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := make(map[string]bool)
+	for _, s := range conditions["viral sinusitis"] {
+		truth[s] = true
+	}
+	initial := []string{"headache", "fatigue"} // what the patient typed
+
+	fmt.Printf("patient reports: %v (true condition: viral sinusitis)\n\n", initial)
+	for _, strategyName := range []string{"infogain", "klp"} {
+		oracle := &transcriptOracle{symptoms: truth}
+		res, err := c.Discover(initial, oracle,
+			setdiscovery.WithStrategy(strategyName),
+			setdiscovery.WithK(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s ---\n", strategyName)
+		for _, line := range oracle.log {
+			fmt.Println(line)
+		}
+		fmt.Printf("diagnosis after %d question(s): %s\n\n", res.Questions, res.Target)
+	}
+
+	// The offline tree shows the whole triage policy at a glance.
+	tr, err := c.BuildTree(setdiscovery.WithStrategy("klp"), setdiscovery.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full triage policy (avg %.2f questions, worst case %d):\n%s",
+		tr.AvgDepth(), tr.Height(), tr.Render())
+}

@@ -1,0 +1,227 @@
+package baseball
+
+import (
+	"strings"
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/relation"
+	"setdiscovery/internal/strategy"
+)
+
+// fullTable is generated once; tests share it read-only.
+var fullTable = func() *relation.Table {
+	t, err := GeneratePeople(1)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}()
+
+func TestGeneratePeopleShape(t *testing.T) {
+	if fullTable.NumRows() != DefaultRows {
+		t.Fatalf("rows = %d, want %d", fullTable.NumRows(), DefaultRows)
+	}
+	for _, col := range []string{"playerID", "birthCountry", "birthState", "birthCity",
+		"birthYear", "birthMonth", "birthDay", "height", "weight", "bats", "throws"} {
+		if fullTable.Column(col) == nil {
+			t.Errorf("missing column %q", col)
+		}
+	}
+}
+
+func TestGeneratePeopleDeterminism(t *testing.T) {
+	a, err := GeneratePeopleN(7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePeopleN(7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Column("birthCity"), b.Column("birthCity")
+	for i := 0; i < 500; i++ {
+		if ca.IsNull(i) != cb.IsNull(i) || (!ca.IsNull(i) && ca.Str(i) != cb.Str(i)) {
+			t.Fatalf("row %d differs between same-seed tables", i)
+		}
+	}
+}
+
+func TestGeneratePeopleRejectsBadN(t *testing.T) {
+	if _, err := GeneratePeopleN(1, 0); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestMarginals(t *testing.T) {
+	n := float64(fullTable.NumRows())
+	usa := len(relation.Select(fullTable, relation.EqAnyStr{Col: "birthCountry", Values: []string{"USA"}}))
+	if f := float64(usa) / n; f < 0.82 || f < 0.5 {
+		t.Errorf("USA fraction = %.3f, want ≈ 0.87", f)
+	}
+	heights := fullTable.Column("height")
+	sum, cnt := 0.0, 0
+	for i := 0; i < fullTable.NumRows(); i++ {
+		if !heights.IsNull(i) {
+			sum += float64(heights.Int(i))
+			cnt++
+		}
+	}
+	if mean := sum / float64(cnt); mean < 71 || mean > 73 {
+		t.Errorf("mean height = %.2f, want ≈ 72", mean)
+	}
+}
+
+// Table 2 check: target query output sizes land in the paper's ballpark.
+// The paper's exact counts (892, 201, 2179, 939, 65, 49, 26) depend on the
+// real Lahman data; we assert the same order of magnitude and ordering.
+func TestTargetQueryOutputSizes(t *testing.T) {
+	want := map[string][2]int{ // name -> [min, max] accepted
+		"T1": {400, 1800},  // paper: 892
+		"T2": {80, 450},    // paper: 201
+		"T3": {1400, 3300}, // paper: 2179
+		"T4": {450, 1900},  // paper: 939
+		"T5": {25, 130},    // paper: 65
+		"T6": {15, 160},    // paper: 49
+		"T7": {8, 120},     // paper: 26
+	}
+	for _, q := range TargetQueries() {
+		got := len(q.Eval(fullTable))
+		r := want[q.Name]
+		if got < r[0] || got > r[1] {
+			t.Errorf("%s output = %d rows, want within [%d, %d] (paper ballpark)",
+				q.Name, got, r[0], r[1])
+		}
+	}
+}
+
+func TestCandidateConditionsRespectNulls(t *testing.T) {
+	// Build a tiny table where one example has a NULL state: the birthState
+	// condition must be skipped.
+	tab := relation.NewTable("P")
+	tab.AddStringColumn("birthCountry", []string{"USA", "USA"}, nil)
+	tab.AddStringColumn("birthState", []string{"CA", ""}, []bool{false, true})
+	tab.AddStringColumn("birthCity", []string{"LA", "SF"}, nil)
+	tab.AddIntColumn("birthYear", []int64{1980, 1985}, nil)
+	tab.AddIntColumn("birthMonth", []int64{1, 2}, nil)
+	tab.AddIntColumn("birthDay", []int64{3, 4}, nil)
+	tab.AddIntColumn("height", []int64{70, 72}, nil)
+	tab.AddIntColumn("weight", []int64{180, 190}, nil)
+	tab.AddStringColumn("bats", []string{"R", "L"}, nil)
+	tab.AddStringColumn("throws", []string{"R", "R"}, nil)
+	conds := candidateConditions(tab, []uint32{0, 1})
+	for _, c := range conds {
+		if c.col == "birthState" {
+			t.Error("birthState condition generated despite NULL example value")
+		}
+	}
+}
+
+func TestCandidateIntervalEnumeration(t *testing.T) {
+	// §5.2.3's worked example: heights {62, 73} with refs {60,65,70,75,80}
+	// admit exactly 5 height conditions: >60∧<75, >60∧<80, >60, <75, <80.
+	tab := relation.NewTable("P")
+	tab.AddIntColumn("height", []int64{62, 73}, nil)
+	var heightConds []condition
+	for _, c := range candidateConditions(tab, []uint32{0, 1}) {
+		if c.col == "height" {
+			heightConds = append(heightConds, c)
+		}
+	}
+	if len(heightConds) != 5 {
+		names := make([]string, len(heightConds))
+		for i, c := range heightConds {
+			names[i] = c.pred.String()
+		}
+		t.Fatalf("height conditions = %v, want 5 per the paper's example", names)
+	}
+}
+
+func TestCandidateQueriesPairAcrossColumnsOnly(t *testing.T) {
+	tab := relation.NewTable("P")
+	tab.AddIntColumn("height", []int64{62, 73}, nil)
+	tab.AddStringColumn("bats", []string{"L", "L"}, nil)
+	qs := CandidateQueries(tab, []uint32{0, 1})
+	// Conditions: 5 height intervals + 1 bats equality = 6 singles;
+	// pairs across columns: 5×1 = 5. Total 11.
+	if len(qs) != 11 {
+		t.Fatalf("candidates = %d, want 11", len(qs))
+	}
+	for _, q := range qs {
+		if strings.Count(q.Name, "height>") > 1 {
+			t.Errorf("same-column pair generated: %s", q.Name)
+		}
+	}
+}
+
+// End-to-end §5.2.3 on a scaled-down table: for every target, the candidate
+// set contains the target's output, every candidate contains both example
+// tuples, and discovery finds the target.
+func TestQueryDiscoveryEndToEnd(t *testing.T) {
+	tab, err := GeneratePeopleN(3, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range TargetQueries() {
+		inst, err := NewInstance(tab, target, 42)
+		if err != nil {
+			// Scaled tables can make rare targets too small; skip those.
+			if len(target.Eval(tab)) < 2 {
+				continue
+			}
+			t.Fatalf("%s: %v", target.Name, err)
+		}
+		if len(inst.Candidates) < 100 {
+			t.Errorf("%s: only %d candidate queries", target.Name, len(inst.Candidates))
+		}
+		for _, ex := range inst.Examples {
+			if !inst.TargetSet.Contains(dataset.Entity(ex)) {
+				t.Fatalf("%s: example tuple %d not in target output", target.Name, ex)
+			}
+		}
+		// Every collection member must contain both examples.
+		for _, s := range inst.Collection.Sets() {
+			for _, ex := range inst.Examples {
+				if !s.Contains(dataset.Entity(ex)) {
+					t.Fatalf("%s: candidate %q misses example %d", target.Name, s.Name, ex)
+				}
+			}
+		}
+		res, err := discovery.Run(inst.Collection,
+			[]dataset.Entity{inst.Examples[0], inst.Examples[1]},
+			discovery.TargetOracle{Target: inst.TargetSet},
+			discovery.Options{Strategy: strategy.NewKLPLVE(cost.AD, 3, 10)})
+		if err != nil {
+			t.Fatalf("%s: discovery: %v", target.Name, err)
+		}
+		if res.Target != inst.TargetSet {
+			t.Errorf("%s: discovered %v, want target", target.Name, res.Target)
+		}
+		if res.Questions > 20 {
+			t.Errorf("%s: %d questions (paper reports ≈9–11 at full scale)",
+				target.Name, res.Questions)
+		}
+	}
+}
+
+// Table 3 shape: at full scale each target yields several hundred candidate
+// queries with large average outputs.
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale instance generation in -short mode")
+	}
+	inst, err := NewInstance(fullTable, TargetQueries()[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Candidates) < 300 || len(inst.Candidates) > 3000 {
+		t.Errorf("candidates = %d, want several hundred to ~1500 (paper: 600–1339)",
+			len(inst.Candidates))
+	}
+	if inst.AvgOutputSize < 2000 {
+		t.Errorf("avg output = %.0f tuples, want thousands (paper: 7k–12k)",
+			inst.AvgOutputSize)
+	}
+}

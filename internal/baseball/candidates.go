@@ -1,0 +1,193 @@
+package baseball
+
+import (
+	"errors"
+	"fmt"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/relation"
+	"setdiscovery/internal/rng"
+)
+
+// CategoricalColumns are the columns §5.2.3 step (1) treats as categorical.
+var CategoricalColumns = []string{
+	"birthCountry", "birthState", "birthCity", "birthMonth", "birthDay",
+	"bats", "throws",
+}
+
+// ReferenceValues are the §5.2.3 step (2) grids for the numerical columns.
+var ReferenceValues = map[string][]int64{
+	"height":    {60, 65, 70, 75, 80},
+	"weight":    {120, 140, 160, 180, 200, 220, 240, 260, 280, 300},
+	"birthYear": {1850, 1870, 1890, 1910, 1930, 1950, 1970, 1990},
+}
+
+// NumericalColumns lists the numerical columns in a fixed order.
+var NumericalColumns = []string{"birthYear", "height", "weight"}
+
+// intCategorical marks categorical columns stored as ints (birthMonth/Day).
+var intCategorical = map[string]bool{"birthMonth": true, "birthDay": true}
+
+// condition is one single-column selection condition plus its column, so
+// step (5) can pair conditions across different columns only.
+type condition struct {
+	col  string
+	pred relation.Predicate
+}
+
+// CandidateQueries generates the §5.2.3 candidate CNF queries for the given
+// example rows: per step (3) one disjunctive equality condition per
+// categorical column (skipped when an example value is NULL), per step (4)
+// every reference-value interval containing all example values of each
+// numerical column, and per step (5) every single condition plus every
+// conjunction of two conditions on different columns.
+func CandidateQueries(t *relation.Table, examples []uint32) []relation.Query {
+	conds := candidateConditions(t, examples)
+	var out []relation.Query
+	for _, c := range conds {
+		out = append(out, relation.Query{Name: c.pred.String(), Pred: c.pred})
+	}
+	for i := 0; i < len(conds); i++ {
+		for j := i + 1; j < len(conds); j++ {
+			if conds[i].col == conds[j].col {
+				continue
+			}
+			p := relation.And{conds[i].pred, conds[j].pred}
+			out = append(out, relation.Query{Name: p.String(), Pred: p})
+		}
+	}
+	return out
+}
+
+func candidateConditions(t *relation.Table, examples []uint32) []condition {
+	var conds []condition
+	// Step (3): categorical conditions.
+	for _, col := range CategoricalColumns {
+		if intCategorical[col] {
+			vals, ok := relation.DistinctInts(t, col, examples)
+			if !ok {
+				continue
+			}
+			conds = append(conds, condition{col, relation.EqAnyInt{Col: col, Values: vals}})
+			continue
+		}
+		if anyNullString(t, col, examples) {
+			continue
+		}
+		vals := relation.DistinctStrings(t, col, examples)
+		if len(vals) == 0 {
+			continue
+		}
+		conds = append(conds, condition{col, relation.EqAnyStr{Col: col, Values: vals}})
+	}
+	// Step (4): numerical interval conditions.
+	for _, col := range NumericalColumns {
+		vals, ok := relation.DistinctInts(t, col, examples)
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		minV, maxV := vals[0], vals[len(vals)-1]
+		refs := ReferenceValues[col]
+		var los, his []int64
+		for _, v := range refs {
+			if v < minV {
+				los = append(los, v)
+			}
+			if v > maxV {
+				his = append(his, v)
+			}
+		}
+		// Every (lo, hi) combination including open ends, except the
+		// unbounded pair.
+		for li := -1; li < len(los); li++ {
+			for hi := -1; hi < len(his); hi++ {
+				if li == -1 && hi == -1 {
+					continue
+				}
+				p := relation.IntRange{Col: col}
+				if li >= 0 {
+					p.Lo, p.HasLo = los[li], true
+				}
+				if hi >= 0 {
+					p.Hi, p.HasHi = his[hi], true
+				}
+				conds = append(conds, condition{col, p})
+			}
+		}
+	}
+	return conds
+}
+
+func anyNullString(t *relation.Table, col string, rows []uint32) bool {
+	c := t.Column(col)
+	if c == nil {
+		return true
+	}
+	for _, r := range rows {
+		if c.IsNull(int(r)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Instance bundles everything the query-discovery experiments need for one
+// target query.
+type Instance struct {
+	Table      *relation.Table
+	Target     relation.Query
+	TargetRows []uint32
+	Examples   []uint32 // the 2 randomly selected example tuples
+	Candidates []relation.Query
+	// Collection holds the candidate query outputs as sets over row IDs,
+	// deduplicated (queries with identical outputs are indistinguishable,
+	// §2.1); TargetSet is the member equal to the target's output.
+	Collection *dataset.Collection
+	TargetSet  *dataset.Set
+	// AvgOutputSize is Table 3's "average number of output tuples".
+	AvgOutputSize float64
+}
+
+// ErrTargetTooSmall is returned when a target query selects fewer than two
+// rows, making two example tuples impossible.
+var ErrTargetTooSmall = errors.New("baseball: target query selects fewer than 2 tuples")
+
+// NewInstance evaluates the target, draws two example tuples from its
+// output, generates the candidate queries and builds the set collection.
+func NewInstance(t *relation.Table, target relation.Query, seed uint64) (*Instance, error) {
+	rows := target.Eval(t)
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("%w: %s has %d", ErrTargetTooSmall, target.Name, len(rows))
+	}
+	r := rng.New(seed)
+	examples := r.SampleUint32(rows, 2)
+
+	cands := CandidateQueries(t, examples)
+	names := make([]string, len(cands))
+	elems := make([][]dataset.Entity, len(cands))
+	total := 0
+	for i, q := range cands {
+		out := q.Eval(t)
+		names[i] = q.Name
+		elems[i] = out
+		total += len(out)
+	}
+	coll, err := dataset.FromIDSets(names, elems, t.NumRows(), true)
+	if err != nil {
+		return nil, fmt.Errorf("baseball: building collection for %s: %v", target.Name, err)
+	}
+	targetSet := coll.FindByElements(rows)
+	if targetSet == nil {
+		return nil, fmt.Errorf("baseball: target %s output not among candidates", target.Name)
+	}
+	return &Instance{
+		Table:         t,
+		Target:        target,
+		TargetRows:    rows,
+		Examples:      examples,
+		Candidates:    cands,
+		Collection:    coll,
+		TargetSet:     targetSet,
+		AvgOutputSize: float64(total) / float64(len(cands)),
+	}, nil
+}

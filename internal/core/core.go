@@ -1,0 +1,106 @@
+// Package core gathers the paper's primary contribution under one import:
+// the cost lower bounds (§4.1), the k-lookahead-with-pruning selection
+// algorithms (§4.4), offline tree construction (Algorithm 3) and the
+// interactive discovery loop (Algorithm 2). It re-exports the types of the
+// focused sub-packages — cost, strategy, tree and discovery — so callers
+// inside the module can depend on "the algorithm" without memorising the
+// package split; each sub-package remains the home of its implementation
+// and documentation.
+package core
+
+import (
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/tree"
+)
+
+// Cost model (§3, §4.1).
+type (
+	// Metric is the tree cost metric: AD (average depth) or H (height).
+	Metric = cost.Metric
+	// Value is a scaled integer cost (sum of depths for AD, height for H).
+	Value = cost.Value
+)
+
+// Metrics.
+const (
+	AD = cost.AD
+	H  = cost.H
+)
+
+// Lower bounds and pruning limits (eqs 1–8, 11–14).
+var (
+	LB0      = cost.LB0
+	LB1      = cost.LB1
+	Combine  = cost.Combine
+	ULFirst  = cost.ULFirst
+	ULSecond = cost.ULSecond
+)
+
+// Entity selection (§4.2, §4.4).
+type (
+	// Strategy selects the next membership question for a sub-collection.
+	Strategy = strategy.Strategy
+	// KLP is Algorithm 1 (k-LP) and its k-LPLE/k-LPLVE variants.
+	KLP = strategy.KLP
+	// Recorder collects the per-node pruning statistics of Table 4.
+	Recorder = strategy.Recorder
+)
+
+// Constructors for the paper's strategies and baselines.
+var (
+	NewKLP      = strategy.NewKLP
+	NewKLPLE    = strategy.NewKLPLE
+	NewKLPLVE   = strategy.NewKLPLVE
+	NewGainK    = strategy.NewGainK
+	NewStrategy = strategy.New
+)
+
+// Decision trees (§3, Algorithm 3).
+type (
+	// Tree is a full binary decision tree over a sub-collection.
+	Tree = tree.Tree
+	// Node is one tree node (question or leaf).
+	Node = tree.Node
+)
+
+// BuildTree is Algorithm 3.
+var BuildTree = tree.Build
+
+// Interactive discovery (Algorithm 2, §6 extensions).
+type (
+	// Oracle answers membership questions.
+	Oracle = discovery.Oracle
+	// Options configures a discovery run.
+	Options = discovery.Options
+	// Result reports a discovery run.
+	Result = discovery.Result
+	// Answer is a user's reply to a membership question.
+	Answer = discovery.Answer
+	// TargetOracle simulates a truthful user with a known target.
+	TargetOracle = discovery.TargetOracle
+)
+
+// Answers.
+const (
+	Yes     = discovery.Yes
+	No      = discovery.No
+	Unknown = discovery.Unknown
+)
+
+// Discover is Algorithm 2.
+var Discover = discovery.Run
+
+// Problem model.
+type (
+	// Collection is the closed collection of unique sets.
+	Collection = dataset.Collection
+	// Subset is a sub-collection of candidate sets.
+	Subset = dataset.Subset
+	// Set is one candidate set.
+	Set = dataset.Set
+	// Entity is an element of the universe.
+	Entity = dataset.Entity
+)

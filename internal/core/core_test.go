@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"setdiscovery/internal/testutil"
+)
+
+// The re-export surface must compose end to end: bounds, selection, tree
+// construction and discovery through the core names only.
+func TestCoreSurfaceComposes(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.All()
+
+	if got := LB0(AD, sub.Size()); got != 20 {
+		t.Errorf("LB0(AD, 7) = %d, want 20 scaled (2.857)", got)
+	}
+	if got := LB1(H, 3, 4); got != 3 {
+		t.Errorf("LB1(H, 3, 4) = %d, want 3", got)
+	}
+	if got := Combine(AD, 3, 5, 4, 8); got != 20 {
+		t.Errorf("Combine(AD) = %d", got)
+	}
+	if ULFirst(H, 4, 7, 4) != 3 || ULSecond(H, 4, 7, 2) != 3 {
+		t.Error("UL re-exports broken")
+	}
+
+	sel := NewKLP(AD, 3)
+	tr, err := BuildTree(sub, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.AvgDepth() != 20.0/7 {
+		t.Errorf("tree AD = %f", tr.AvgDepth())
+	}
+
+	target := c.FindByName("S6")
+	res, err := Discover(c, nil, TargetOracle{Target: target},
+		Options{Strategy: NewKLPLVE(AD, 3, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != target {
+		t.Errorf("core Discover found %v", res.Target)
+	}
+
+	if _, err := NewStrategy("infogain", AD, 1, 1); err != nil {
+		t.Errorf("NewStrategy: %v", err)
+	}
+	var rec Recorder
+	sel2 := NewKLP(AD, 2).Instrument(&rec)
+	if _, ok := sel2.Select(sub); !ok || len(rec.Nodes) != 1 {
+		t.Error("instrumented selection via core broken")
+	}
+}
+
+// The alias types must interoperate: a custom oracle written against the
+// core names plugs into Discover.
+type flipOracle struct{ target *Set }
+
+func (o flipOracle) Answer(e Entity) Answer {
+	if o.target.Contains(e) {
+		return Yes
+	}
+	return No
+}
+
+func TestCoreCustomOracle(t *testing.T) {
+	c := testutil.PaperCollection()
+	target := c.FindByName("S3")
+	res, err := Discover(c, nil, flipOracle{target}, Options{Strategy: NewKLP(H, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != target {
+		t.Errorf("found %v", res.Target)
+	}
+}

@@ -1,0 +1,10 @@
+package dataset
+
+// SetDenseThresholdForTest overrides the dense-counting cutoff so tests can
+// exercise both counting paths without building multi-million-entity
+// universes. It returns a restore function.
+func SetDenseThresholdForTest(n int) func() {
+	old := denseThreshold
+	denseThreshold = n
+	return func() { denseThreshold = old }
+}

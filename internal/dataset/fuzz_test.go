@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText checks the text parser never panics and that everything it
+// accepts round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("A\tx\ty\nB\tz\n")
+	f.Add("# comment\nname\telem\n")
+	f.Add("esc\\tape\td\\nata\n")
+	f.Add("")
+	f.Add("lonely\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := c.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText of accepted input failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if back.Len() != c.Len() {
+			t.Fatalf("round trip changed set count: %d vs %d", back.Len(), c.Len())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary parser never panics or over-allocates on
+// corrupt input, and round-trips what it accepts.
+func FuzzReadBinary(f *testing.F) {
+	orig, err := FromIDSets([]string{"a", "b"}, [][]Entity{{0, 2}, {1}}, 3, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SDC1"))
+	f.Add([]byte{})
+	f.Add([]byte("XXXXXXXX"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		c, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := c.WriteBinary(&out); err != nil {
+			t.Fatalf("WriteBinary of accepted input failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if back.Len() != c.Len() || back.NumEntities() != c.NumEntities() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text serialization: one set per line, fields separated by tabs, first
+// field the set name, remaining fields the entity strings. Lines starting
+// with '#' and blank lines are ignored. This is the on-disk format of
+// cmd/datagen and the input format of cmd/setdisc.
+
+// WriteText writes the collection in the text format. Collections built
+// from raw IDs render entities as "#<id>".
+func (c *Collection) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range c.sets {
+		if _, err := bw.WriteString(escapeField(s.Name)); err != nil {
+			return err
+		}
+		for _, e := range s.Elems {
+			if err := bw.WriteByte('\t'); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(escapeField(c.EntityName(e))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func escapeField(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	r := strings.NewReplacer("\\", "\\\\", "\t", "\\t", "\n", "\\n")
+	return r.Replace(s)
+}
+
+func unescapeField(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+			}
+		} else {
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// ReadText parses the text format and builds a collection. Duplicate sets
+// are dropped (matching the paper's preprocessing).
+func ReadText(r io.Reader) (*Collection, error) {
+	b := NewBuilder().DropDuplicates()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: set %q has no elements", lineNo, fields[0])
+		}
+		elems := make([]string, len(fields)-1)
+		for i, f := range fields[1:] {
+			elems[i] = unescapeField(f)
+		}
+		b.Add(unescapeField(fields[0]), elems)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// Binary serialization: a compact varint format for large synthetic
+// collections. Layout:
+//
+//	magic "SDC1" | numEntities | numSets |
+//	  per set: nameLen name elemCount delta-varint elems
+//
+// Entity strings are not stored; binary files are for ID-built collections.
+
+const binaryMagic = "SDC1"
+
+// WriteBinary writes the collection in the compact binary format.
+func (c *Collection) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(c.numEntities))
+	writeUvarint(bw, uint64(len(c.sets)))
+	for _, s := range c.sets {
+		writeUvarint(bw, uint64(len(s.Name)))
+		bw.WriteString(s.Name)
+		writeUvarint(bw, uint64(len(s.Elems)))
+		prev := uint32(0)
+		for _, e := range s.Elems {
+			writeUvarint(bw, uint64(e-prev))
+			prev = e
+		}
+	}
+	return bw.Flush()
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*Collection, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	numEntities, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if numEntities > uint64(^uint32(0))+1 {
+		return nil, fmt.Errorf("dataset: universe size %d exceeds uint32 IDs", numEntities)
+	}
+	numSets, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Counts are untrusted: never allocate proportionally to a declared
+	// length before the corresponding bytes have actually been read.
+	const (
+		maxNameLen  = 1 << 20
+		initialCap  = 1 << 12
+		maxElemsCap = 1 << 16
+	)
+	capSets := numSets
+	if capSets > initialCap {
+		capSets = initialCap
+	}
+	names := make([]string, 0, capSets)
+	elems := make([][]Entity, 0, capSets)
+	for i := uint64(0); i < numSets; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > maxNameLen {
+			return nil, fmt.Errorf("dataset: set %d name length %d exceeds %d", i, nameLen, maxNameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		elemCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if elemCount > numEntities {
+			return nil, fmt.Errorf("dataset: set %d claims %d elements in a universe of %d",
+				i, elemCount, numEntities)
+		}
+		capElems := elemCount
+		if capElems > maxElemsCap {
+			capElems = maxElemsCap
+		}
+		es := make([]Entity, 0, capElems)
+		prev := uint64(0)
+		for j := uint64(0); j < elemCount; j++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			if prev >= numEntities {
+				return nil, fmt.Errorf("dataset: set %d element %d beyond universe %d", i, prev, numEntities)
+			}
+			es = append(es, uint32(prev))
+		}
+		names = append(names, string(nameBuf))
+		elems = append(elems, es)
+	}
+	return FromIDSets(names, elems, int(numEntities), true)
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	c := paperCollection(t)
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("round trip lost sets: %d vs %d", back.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		orig, got := c.Set(i), back.Set(i)
+		if orig.Name != got.Name || orig.Len() != got.Len() {
+			t.Errorf("set %d differs: %v vs %v", i, orig, got)
+		}
+		for j, e := range orig.Elems {
+			if c.EntityName(e) != back.EntityName(got.Elems[j]) {
+				t.Errorf("set %d elem %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	c, err := NewBuilder().
+		Add("name\twith\ttabs", []string{"elem\nnewline", "back\\slash", "plain"}).
+		Add("other", []string{"x"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Set(0).Name != "name\twith\ttabs" {
+		t.Errorf("name round trip = %q", back.Set(0).Name)
+	}
+	names := map[string]bool{}
+	for _, e := range back.Set(0).Elems {
+		names[back.EntityName(e)] = true
+	}
+	for _, want := range []string{"elem\nnewline", "back\\slash", "plain"} {
+		if !names[want] {
+			t.Errorf("element %q lost in round trip", want)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\nA\tx\ty\n# another\nB\tz\n"
+	c, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestReadTextRejectsElementlessLine(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("lonely\n")); err == nil {
+		t.Fatal("accepted a set line without elements")
+	}
+}
+
+func TestReadTextDropsDuplicates(t *testing.T) {
+	in := "A\tx\ty\nB\ty\tx\n"
+	c, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after dedup", c.Len())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig, err := FromIDSets(
+		[]string{"first", "second", "third"},
+		[][]Entity{{0, 5, 300}, {1}, {2, 3, 4, 5}},
+		301, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.NumEntities() != 301 {
+		t.Fatalf("round trip: len=%d entities=%d", back.Len(), back.NumEntities())
+	}
+	for i := 0; i < 3; i++ {
+		a, b := orig.Set(i), back.Set(i)
+		if a.Name != b.Name {
+			t.Errorf("set %d name %q vs %q", i, a.Name, b.Name)
+		}
+		if len(a.Elems) != len(b.Elems) {
+			t.Fatalf("set %d size %d vs %d", i, len(a.Elems), len(b.Elems))
+		}
+		for j := range a.Elems {
+			if a.Elems[j] != b.Elems[j] {
+				t.Errorf("set %d elem %d: %d vs %d", i, j, a.Elems[j], b.Elems[j])
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	orig, _ := FromIDSets([]string{"a"}, [][]Entity{{0, 1, 2}}, 3, false)
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 4, 6, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("accepted truncation at %d bytes", cut)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package discovery implements the interactive set-discovery loop of §4.5
+// (Algorithm 2) together with the §6 extensions: "don't know" answers,
+// recovery from erroneous answers by backtracking, and multiple-choice
+// (batch) questions.
+//
+// The loop filters the collection to the supersets of a user-provided
+// initial example set, then repeatedly asks the membership question chosen
+// by an entity-selection strategy until a single candidate remains or a
+// halt condition fires.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/strategy"
+)
+
+// Answer is a user's reply to a membership question.
+type Answer int
+
+const (
+	// No: the entity is not in the target set.
+	No Answer = iota
+	// Yes: the entity is in the target set.
+	Yes
+	// Unknown: the user cannot tell (§6 "Unanswered questions").
+	Unknown
+)
+
+// String renders the answer.
+func (a Answer) String() string {
+	switch a {
+	case No:
+		return "no"
+	case Yes:
+		return "yes"
+	case Unknown:
+		return "don't know"
+	default:
+		return "Answer(?)"
+	}
+}
+
+// Oracle answers membership questions. Implementations simulate users in
+// the experiments; cmd/setdisc wires one to standard input.
+type Oracle interface {
+	Answer(e dataset.Entity) Answer
+}
+
+// Confirmer is an optional Oracle capability: once discovery has narrowed
+// the candidates to a single set, the user confirms or rejects it. A
+// rejection signals that some earlier answer was wrong, which is the
+// trigger for §6's backtracking recovery — with one question at a time an
+// erroneous answer can never empty the candidate set (informative entities
+// always split it), it silently leads to the wrong leaf instead.
+type Confirmer interface {
+	Confirm(s *dataset.Set) bool
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(e dataset.Entity) Answer
+
+// Answer implements Oracle.
+func (f OracleFunc) Answer(e dataset.Entity) Answer { return f(e) }
+
+// TargetOracle answers truthfully for a known target set — the simulated
+// user of §5 ("user answers ... were simulated by verifying them against the
+// output of the target query").
+type TargetOracle struct{ Target *dataset.Set }
+
+// Answer implements Oracle.
+func (o TargetOracle) Answer(e dataset.Entity) Answer {
+	if o.Target.Contains(e) {
+		return Yes
+	}
+	return No
+}
+
+// Confirm implements Confirmer: only the true target is accepted.
+func (o TargetOracle) Confirm(s *dataset.Set) bool { return s == o.Target }
+
+// NoisyOracle wraps an oracle and flips its yes/no answers with probability
+// P (§6 "Possibility of errors in answers"). Unknown answers pass through.
+type NoisyOracle struct {
+	Inner Oracle
+	P     float64
+	R     *rng.RNG
+	Flips int // number of answers flipped so far
+}
+
+// Answer implements Oracle.
+func (o *NoisyOracle) Answer(e dataset.Entity) Answer {
+	a := o.Inner.Answer(e)
+	if a == Unknown || o.R.Float64() >= o.P {
+		return a
+	}
+	o.Flips++
+	if a == Yes {
+		return No
+	}
+	return Yes
+}
+
+// Confirm forwards to the inner oracle: §6 models mistakes in membership
+// answers, while the user reliably recognises their own set when shown it.
+// When the inner oracle cannot confirm, any set is accepted.
+func (o *NoisyOracle) Confirm(s *dataset.Set) bool {
+	if c, ok := o.Inner.(Confirmer); ok {
+		return c.Confirm(s)
+	}
+	return true
+}
+
+// UnsureOracle wraps an oracle and answers Unknown for the given entities.
+type UnsureOracle struct {
+	Inner  Oracle
+	Unsure map[dataset.Entity]bool
+}
+
+// Answer implements Oracle.
+func (o UnsureOracle) Answer(e dataset.Entity) Answer {
+	if o.Unsure[e] {
+		return Unknown
+	}
+	return o.Inner.Answer(e)
+}
+
+// Confirm forwards to the inner oracle; without inner support any set is
+// accepted.
+func (o UnsureOracle) Confirm(s *dataset.Set) bool {
+	if c, ok := o.Inner.(Confirmer); ok {
+		return c.Confirm(s)
+	}
+	return true
+}
+
+// Question records one asked membership question and its answer.
+type Question struct {
+	Entity dataset.Entity
+	Answer Answer
+}
+
+// Options configures a discovery run.
+type Options struct {
+	// Strategy selects the next question; required.
+	Strategy strategy.Strategy
+	// MaxQuestions is the halt condition Γ: stop after this many questions
+	// (0 = unlimited).
+	MaxQuestions int
+	// Backtrack enables recovery from contradictory answers (§6): when no
+	// candidate remains, previously given answers are revisited.
+	Backtrack bool
+	// MaxBacktracks caps the number of answer flips tried during recovery
+	// (default 64 when Backtrack is set).
+	MaxBacktracks int
+	// BatchSize asks that many membership questions per interaction (§6
+	// "Multiple-choice examples"); 0 or 1 means one question at a time.
+	BatchSize int
+	// ConfirmTarget asks the oracle to confirm the discovered set when it
+	// implements Confirmer; a rejection triggers backtracking (§6 error
+	// recovery). Requires Backtrack for recovery to proceed.
+	ConfirmTarget bool
+}
+
+// Result reports the outcome of a discovery run.
+type Result struct {
+	// Candidates holds the sets still consistent with all answers.
+	Candidates *dataset.Subset
+	// Target is the uniquely discovered set, nil when discovery halted
+	// with several candidates (or none).
+	Target *dataset.Set
+	// Questions is the number of membership questions answered (including
+	// "don't know" replies).
+	Questions int
+	// Interactions counts user round-trips; with batching one interaction
+	// covers several questions.
+	Interactions int
+	// Unknowns counts "don't know" replies.
+	Unknowns int
+	// Backtracks counts answer flips performed during error recovery.
+	Backtracks int
+	// Asked is the chronological question log. After backtracking, flipped
+	// answers are updated in place; answers given on abandoned branches
+	// remain in the log as asked (they cost the user an interaction even
+	// though their constraint was discarded).
+	Asked []Question
+	// SelectionTime is the total time spent choosing questions — the
+	// paper's "discovery time", excluding the user's thinking time.
+	SelectionTime time.Duration
+}
+
+// ErrNoCandidates is returned when no set in the collection contains the
+// initial example set.
+var ErrNoCandidates = errors.New("discovery: no candidate set contains the initial examples")
+
+// ErrContradiction is returned when the answers rule out every candidate
+// and backtracking is disabled or exhausted.
+var ErrContradiction = errors.New("discovery: answers are inconsistent with every candidate set")
+
+// trailEntry records state needed to revisit an answer.
+type trailEntry struct {
+	before  *dataset.Subset // candidates before the question was applied
+	entity  dataset.Entity
+	answer  Answer // answer as applied (after any flip)
+	flipped bool   // whether recovery already flipped this answer
+}
+
+// Run executes Algorithm 2: filter the collection to supersets of initial,
+// then ask strategy-selected membership questions until one candidate
+// remains, the halt condition fires, or the informative entities are
+// exhausted by "don't know" replies.
+func Run(c *dataset.Collection, initial []dataset.Entity, o Oracle, opts Options) (*Result, error) {
+	if opts.Strategy == nil {
+		return nil, errors.New("discovery: Options.Strategy is required")
+	}
+	if opts.Backtrack && opts.MaxBacktracks == 0 {
+		opts.MaxBacktracks = 64
+	}
+	// Lines 1–4: candidate sets are the supersets of the initial examples.
+	cs := c.SupersetsOf(initial)
+	if cs.Size() == 0 {
+		return &Result{Candidates: cs}, ErrNoCandidates
+	}
+
+	res := &Result{Candidates: cs}
+	excluded := make(map[dataset.Entity]bool)
+	var trail []trailEntry
+
+	for {
+		// Lines 5–12: the interaction loop.
+		for cs.Size() > 1 {
+			if opts.MaxQuestions > 0 && res.Questions >= opts.MaxQuestions {
+				break
+			}
+			entities, ok := selectBatch(cs, opts, excluded, res)
+			if !ok {
+				break // every informative entity was answered "don't know"
+			}
+			res.Interactions++
+			contradiction := false
+			for _, e := range entities {
+				if cs.Size() <= 1 {
+					break
+				}
+				a := o.Answer(e)
+				res.Questions++
+				res.Asked = append(res.Asked, Question{e, a})
+				switch a {
+				case Unknown:
+					res.Unknowns++
+					excluded[e] = true
+					continue
+				case Yes, No:
+					trail = append(trail, trailEntry{before: cs, entity: e, answer: a})
+					cs = apply(cs, e, a)
+					if cs.Size() == 0 {
+						// Only reachable in batch mode: a later question of
+						// the batch may be uninformative for the already
+						// narrowed candidates.
+						contradiction = true
+					}
+				}
+				if contradiction {
+					break
+				}
+			}
+			if contradiction {
+				var err error
+				cs, trail, err = backtrack(trail, opts, res)
+				if err != nil {
+					res.Candidates = c.SubsetOf(nil)
+					return res, err
+				}
+			}
+		}
+
+		// Final confirmation (§6 error recovery trigger): a rejected result
+		// means some earlier answer was wrong; flip and resume.
+		if cs.Size() == 1 && opts.ConfirmTarget {
+			if confirmer, ok := o.(Confirmer); ok {
+				res.Questions++
+				res.Interactions++
+				if !confirmer.Confirm(cs.Single()) {
+					var err error
+					cs, trail, err = backtrack(trail, opts, res)
+					if err != nil {
+						res.Candidates = c.SubsetOf(nil)
+						return res, err
+					}
+					continue
+				}
+			}
+		}
+		break
+	}
+
+	res.Candidates = cs
+	if cs.Size() == 1 {
+		res.Target = cs.Single()
+	}
+	return res, nil
+}
+
+// apply narrows the candidates by one answered question (lines 8–12).
+func apply(cs *dataset.Subset, e dataset.Entity, a Answer) *dataset.Subset {
+	with, without := cs.Partition(e)
+	if a == Yes {
+		return with
+	}
+	return without
+}
+
+// selectBatch picks the entities for the next interaction: the strategy's
+// choice, plus (BatchSize−1) further entities ranked by 1-step bound for
+// multiple-choice interactions. Selection time is accounted to the result.
+func selectBatch(cs *dataset.Subset, opts Options, excluded map[dataset.Entity]bool, res *Result) ([]dataset.Entity, bool) {
+	start := time.Now()
+	defer func() { res.SelectionTime += time.Since(start) }()
+
+	first, ok := selectOne(cs, opts.Strategy, excluded)
+	if !ok {
+		return nil, false
+	}
+	batch := []dataset.Entity{first}
+	if opts.BatchSize <= 1 {
+		return batch, true
+	}
+	// Remaining picks: most even splits first (the cheap §6 variant that
+	// avoids the combinatorial expected-gain search).
+	n := cs.Size()
+	type cand struct {
+		e      dataset.Entity
+		uneven int
+	}
+	var cands []cand
+	for _, ec := range cs.InformativeEntities() {
+		if ec.Entity == first || excluded[ec.Entity] {
+			continue
+		}
+		cands = append(cands, cand{ec.Entity, absInt(2*ec.Count - n)})
+	}
+	for len(batch) < opts.BatchSize && len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].uneven < cands[best].uneven ||
+				(cands[i].uneven == cands[best].uneven && cands[i].e < cands[best].e) {
+				best = i
+			}
+		}
+		batch = append(batch, cands[best].e)
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+	return batch, true
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// selectOne asks the strategy for the next entity, honouring exclusions.
+func selectOne(cs *dataset.Subset, sel strategy.Strategy, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	if len(excluded) == 0 {
+		return sel.Select(cs)
+	}
+	if ex, ok := sel.(strategy.Excluder); ok {
+		return ex.SelectExcluding(cs, excluded)
+	}
+	// Fallback for strategies without exclusion support: take their pick
+	// unless excluded, else the most even non-excluded entity.
+	if e, ok := sel.Select(cs); ok && !excluded[e] {
+		return e, true
+	}
+	return strategy.MostEven{}.SelectExcluding(cs, excluded)
+}
+
+// backtrack implements §6 error recovery: walk the trail backwards flipping
+// the most recent answer that has not been flipped yet, and restart from
+// that point. Returns the restored candidate set and the truncated trail.
+func backtrack(trail []trailEntry, opts Options, res *Result) (*dataset.Subset, []trailEntry, error) {
+	if !opts.Backtrack {
+		return nil, trail, ErrContradiction
+	}
+	for i := len(trail) - 1; i >= 0; i-- {
+		if trail[i].flipped {
+			continue
+		}
+		if res.Backtracks >= opts.MaxBacktracks {
+			return nil, trail, fmt.Errorf("%w (backtrack limit %d reached)",
+				ErrContradiction, opts.MaxBacktracks)
+		}
+		res.Backtracks++
+		e := trail[i]
+		flippedAnswer := Yes
+		if e.answer == Yes {
+			flippedAnswer = No
+		}
+		cs := apply(e.before, e.entity, flippedAnswer)
+		// Record the flip in the asked log so Asked reflects answers as
+		// finally used.
+		for j := len(res.Asked) - 1; j >= 0; j-- {
+			if res.Asked[j].Entity == e.entity {
+				res.Asked[j].Answer = flippedAnswer
+				break
+			}
+		}
+		trail = trail[:i]
+		trail = append(trail, trailEntry{before: e.before, entity: e.entity,
+			answer: flippedAnswer, flipped: true})
+		if cs.Size() > 0 {
+			return cs, trail, nil
+		}
+		// Still contradictory: keep unwinding.
+	}
+	return nil, trail, ErrContradiction
+}

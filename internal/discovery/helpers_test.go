@@ -1,0 +1,21 @@
+package discovery
+
+import (
+	"testing"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/tree"
+)
+
+func buildTree(t *testing.T, c *dataset.Collection, sel strategy.Strategy) *tree.Tree {
+	t.Helper()
+	tr, err := tree.Build(c.All(), sel)
+	if err != nil {
+		t.Fatalf("tree.Build: %v", err)
+	}
+	if err := tr.Validate(c.All()); err != nil {
+		t.Fatalf("tree.Validate: %v", err)
+	}
+	return tr
+}

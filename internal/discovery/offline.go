@@ -1,0 +1,59 @@
+package discovery
+
+import (
+	"time"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/tree"
+)
+
+// FollowTree runs an interactive discovery along a precomputed decision
+// tree (§4.5, "Offline tree construction"): the questions are fixed by the
+// tree, so each step only follows one branch — useful when the same static
+// collection is searched repeatedly and per-question selection cost
+// matters.
+//
+// "Don't know" answers cannot be rerouted in a fixed tree; the walk stops
+// and the result holds every set under the current node as candidates.
+func FollowTree(c *dataset.Collection, t *tree.Tree, o Oracle) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	n := t.Root
+	for !n.Leaf() {
+		a := o.Answer(n.Entity)
+		res.Questions++
+		res.Interactions++
+		res.Asked = append(res.Asked, Question{n.Entity, a})
+		switch a {
+		case Yes:
+			n = n.Yes
+		case No:
+			n = n.No
+		default:
+			res.Unknowns++
+			res.Candidates = c.SubsetOf(leavesUnder(n))
+			res.SelectionTime = time.Since(start)
+			return res, nil
+		}
+	}
+	res.Candidates = c.SubsetOf([]uint32{uint32(n.Set.Index)})
+	res.Target = n.Set
+	res.SelectionTime = time.Since(start)
+	return res, nil
+}
+
+// leavesUnder returns the set indexes of all leaves below n.
+func leavesUnder(n *tree.Node) []uint32 {
+	var out []uint32
+	var walk func(*tree.Node)
+	walk = func(n *tree.Node) {
+		if n.Leaf() {
+			out = append(out, uint32(n.Set.Index))
+			return
+		}
+		walk(n.Yes)
+		walk(n.No)
+	}
+	walk(n)
+	return out
+}

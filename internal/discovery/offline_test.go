@@ -1,0 +1,75 @@
+package discovery
+
+import (
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/testutil"
+)
+
+func TestFollowTreeFindsEveryTarget(t *testing.T) {
+	c := testutil.PaperCollection()
+	tr := buildTree(t, c, strategy.NewKLP(cost.AD, 3))
+	for _, target := range c.Sets() {
+		res, err := FollowTree(c, tr, TargetOracle{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Target != target {
+			t.Errorf("FollowTree(%s) found %v", target.Name, res.Target)
+		}
+		if want := tr.Depth(target.Index); res.Questions != want {
+			t.Errorf("%s: %d questions, tree depth %d", target.Name, res.Questions, want)
+		}
+	}
+}
+
+func TestFollowTreeMatchesOnlineDiscovery(t *testing.T) {
+	// Offline (precomputed tree) and online (incremental selection) runs
+	// with the same deterministic strategy ask the same number of
+	// questions for every target.
+	c := testutil.PaperCollection()
+	tr := buildTree(t, c, strategy.NewKLP(cost.AD, 2))
+	for _, target := range c.Sets() {
+		offline, err := FollowTree(c, tr, TargetOracle{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		online, err := Run(c, nil, TargetOracle{target},
+			Options{Strategy: strategy.NewKLP(cost.AD, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if offline.Questions != online.Questions {
+			t.Errorf("%s: offline %d questions, online %d",
+				target.Name, offline.Questions, online.Questions)
+		}
+	}
+}
+
+func TestFollowTreeUnknownStopsWithSubtree(t *testing.T) {
+	c := testutil.PaperCollection()
+	tr := buildTree(t, c, strategy.NewKLP(cost.AD, 3))
+	rootEntity := tr.Root.Entity
+	target := c.FindByName("S1")
+	oracle := UnsureOracle{
+		Inner:  TargetOracle{target},
+		Unsure: map[dataset.Entity]bool{rootEntity: true},
+	}
+	res, err := FollowTree(c, tr, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != nil {
+		t.Error("unknown at root still resolved a target")
+	}
+	if res.Unknowns != 1 {
+		t.Errorf("Unknowns = %d", res.Unknowns)
+	}
+	// All 7 sets remain candidates: the root subtree covers everything.
+	if res.Candidates.Size() != 7 {
+		t.Errorf("candidates = %d, want 7", res.Candidates.Size())
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7",
+		"fig8a", "fig8b", "sec532", "sec533",
+		"table1a", "table1b", "table1c", "table2", "table3", "table4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Quick()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Title: "demo", Columns: []string{"a", "blong"}}
+	tbl.AddRow("x", 12)
+	tbl.AddRow("longer", 3.5)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "blong", "longer", "3.500", "12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment must run to completion at Quick scale and produce a
+// non-empty table. This is the integration test of the whole pipeline:
+// generators -> strategies -> trees/discovery -> reporting.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Quick()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if len(res.Table.Rows) == 0 {
+				t.Fatalf("Run(%s): empty table", id)
+			}
+			var sb strings.Builder
+			if err := res.Table.Render(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if testing.Verbose() {
+				t.Log("\n" + sb.String())
+			}
+		})
+	}
+}
+
+// Directional checks on the Quick results: the paper's qualitative claims
+// must hold even at reduced scale.
+func TestFig4bSpeedupAboveOne(t *testing.T) {
+	res, err := Run("fig4b", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		sp := row[4]
+		if strings.HasPrefix(sp, "0x") || sp == "1x" {
+			t.Errorf("n=%s: speedup %s not > 1", row[0], sp)
+		}
+	}
+}
+
+func TestTable4MajorityPruned(t *testing.T) {
+	res, err := Run("table4", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		avg, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable pruned fraction %q", row[2])
+		}
+		if avg < 50 {
+			t.Errorf("%s: only %.1f%% pruned on average (paper: >88%%)", row[0], avg)
+		}
+	}
+}
+
+func TestSec533HighRootPruning(t *testing.T) {
+	res, err := Run("sec533", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Table.Rows {
+		avg, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("unparsable pruned fraction %q", row[2])
+		}
+		if avg < 80 {
+			t.Errorf("k=%s: root pruning %.1f%% (paper: >99%%)", row[0], avg)
+		}
+	}
+}
+
+func TestSec532NonNegativeImprovement(t *testing.T) {
+	res, err := Run("sec532", Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		adImp, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("unparsable AD improvement %q", row[1])
+		}
+		// Lookahead strategies should not lose to InfoGain on average.
+		if adImp < -0.05 {
+			t.Errorf("%s: mean AD improvement %.3f is negative", row[0], adImp)
+		}
+	}
+}

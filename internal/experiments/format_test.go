@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3.14159, "3.142"},
+		{12.345, "12.35"},
+		{12345.6, "12346"},
+		{-0.5, "-0.500"},
+		{-12345, "-12345"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.50s"},
+		{2500 * time.Microsecond, "2.50ms"},
+		{750 * time.Microsecond, "750µs"},
+	}
+	for _, c := range cases {
+		if got := formatDuration(c.in); got != c.want {
+			t.Errorf("formatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowStringification(t *testing.T) {
+	var tbl Table
+	tbl.AddRow("s", 42, 3.5, 2*time.Second, int64(7))
+	if len(tbl.Rows) != 1 {
+		t.Fatal("row not added")
+	}
+	row := tbl.Rows[0]
+	want := []string{"s", "42", "3.500", "2.00s", "7"}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, row[i], want[i])
+		}
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"default": Default(), "quick": Quick(), "full": Full(),
+	} {
+		if cfg.Scale < 1 || cfg.WebSets < 1 || cfg.WebSeeds < 1 ||
+			cfg.WebMinSub < 1 || cfg.BaseballRows < 1 || cfg.SpeedupCapSets < 1 {
+			t.Errorf("%s config has a non-positive field: %+v", name, cfg)
+		}
+	}
+	if Full().Scale != 1 {
+		t.Error("Full() is not paper scale")
+	}
+	if Quick().WebSets >= Default().WebSets {
+		t.Error("Quick() not smaller than Default()")
+	}
+}
+
+func TestTimeIt(t *testing.T) {
+	d := timeIt(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 5*time.Millisecond {
+		t.Errorf("timeIt measured %v", d)
+	}
+}

@@ -1,0 +1,91 @@
+// Package optimal computes exact optimal decision trees by exhaustive
+// dynamic programming over sub-collections. The problem is NP-complete
+// (Hyafil & Rivest; §4.2), so this is exponential and meant for small
+// instances: it is the ground truth against which the paper's claim
+// "k-LP finds an optimal tree when k is at least the optimal height"
+// is verified, and a reference for the quality experiments.
+package optimal
+
+import (
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+)
+
+// Strategy is a strategy.Strategy that selects, at every node, an entity on
+// an optimal decision tree for the sub-collection under the configured
+// metric. Building a tree with it (tree.Build) yields an optimal tree.
+// Not safe for concurrent use.
+type Strategy struct {
+	metric cost.Metric
+	memo   map[string]cost.Value
+	keyBuf []byte
+}
+
+// New returns an optimal-tree strategy for metric m.
+func New(m cost.Metric) *Strategy {
+	return &Strategy{metric: m, memo: make(map[string]cost.Value)}
+}
+
+// Name implements strategy.Strategy.
+func (s *Strategy) Name() string { return "optimal(" + s.metric.String() + ")" }
+
+// Select implements strategy.Strategy: it returns an entity minimising the
+// combined optimal costs of the two induced sub-collections.
+func (s *Strategy) Select(sub *dataset.Subset) (dataset.Entity, bool) {
+	if sub.Size() <= 1 {
+		return 0, false
+	}
+	e, _ := s.best(sub)
+	return e, true
+}
+
+// Cost returns the optimal scaled cost of a decision tree for sub under the
+// strategy's metric (sum of depths for AD, height for H).
+func (s *Strategy) Cost(sub *dataset.Subset) cost.Value {
+	n := sub.Size()
+	if n <= 1 {
+		return 0
+	}
+	buf := sub.Key(s.keyBuf[:0])
+	s.keyBuf = buf
+	key := string(buf)
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	_, v := s.best(sub)
+	s.memo[key] = v
+	return v
+}
+
+// best evaluates every distinct partition of sub and returns an argmin
+// entity with the optimal scaled cost. Entities inducing the same partition
+// are deduplicated by the with-branch membership key, which is sound: the
+// cost depends only on the induced partition.
+func (s *Strategy) best(sub *dataset.Subset) (dataset.Entity, cost.Value) {
+	infos := sub.InformativeEntities()
+	var (
+		bestEnt dataset.Entity
+		bestVal cost.Value = cost.Inf
+		seen               = make(map[string]bool)
+		keyBuf  []byte
+	)
+	for _, ec := range infos {
+		with, without := sub.Partition(ec.Entity)
+		keyBuf = with.Key(keyBuf[:0])
+		pk := string(keyBuf)
+		if seen[pk] {
+			continue
+		}
+		seen[pk] = true
+		v := cost.Combine(s.metric, with.Size(), s.Cost(with), without.Size(), s.Cost(without))
+		if v < bestVal {
+			bestEnt, bestVal = ec.Entity, v
+		}
+	}
+	if bestVal == cost.Inf {
+		// Unreachable for collections of unique sets; fail loudly if the
+		// invariant is ever violated upstream.
+		panic("optimal: no informative entity for a multi-set sub-collection")
+	}
+	return bestEnt, bestVal
+}

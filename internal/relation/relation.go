@@ -1,0 +1,313 @@
+// Package relation is a small in-memory relational engine: typed columns
+// with SQL-style NULLs, selection predicates in the CNF shapes of §5.2.3
+// (disjunctions of equalities on a categorical column, open range conditions
+// on a numerical column, conjunctions across columns), and predicate
+// evaluation to row-ID sets. It is the substrate of the baseball query
+// discovery experiment.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a column type.
+type Type int
+
+const (
+	// Int columns hold int64 values.
+	Int Type = iota
+	// String columns hold string values.
+	String
+)
+
+// Column is a typed, optionally nullable column. NULLs never satisfy any
+// predicate (SQL three-valued logic collapsed to false for selections).
+type Column struct {
+	Name string
+	Type Type
+	ints []int64
+	strs []string
+	null []bool // nil when the column has no NULLs
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.null != nil && c.null[i] }
+
+// Int returns the int64 value of row i (undefined for NULLs and non-Int
+// columns; callers check first).
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Str returns the string value of row i.
+func (c *Column) Str(i int) string { return c.strs[i] }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	if c.Type == Int {
+		return len(c.ints)
+	}
+	return len(c.strs)
+}
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name   string
+	cols   []*Column
+	byName map[string]*Column
+	rows   int
+}
+
+// NewTable returns an empty table.
+func NewTable(name string) *Table {
+	return &Table{Name: name, byName: make(map[string]*Column)}
+}
+
+// AddIntColumn appends an Int column. null may be nil (no NULLs) or have the
+// same length as vals.
+func (t *Table) AddIntColumn(name string, vals []int64, null []bool) error {
+	if err := t.checkAdd(name, len(vals), null); err != nil {
+		return err
+	}
+	c := &Column{Name: name, Type: Int, ints: vals, null: null}
+	t.cols = append(t.cols, c)
+	t.byName[name] = c
+	t.rows = len(vals)
+	return nil
+}
+
+// AddStringColumn appends a String column.
+func (t *Table) AddStringColumn(name string, vals []string, null []bool) error {
+	if err := t.checkAdd(name, len(vals), null); err != nil {
+		return err
+	}
+	c := &Column{Name: name, Type: String, strs: vals, null: null}
+	t.cols = append(t.cols, c)
+	t.byName[name] = c
+	t.rows = len(vals)
+	return nil
+}
+
+func (t *Table) checkAdd(name string, n int, null []bool) error {
+	if _, dup := t.byName[name]; dup {
+		return fmt.Errorf("relation: duplicate column %q", name)
+	}
+	if len(t.cols) > 0 && n != t.rows {
+		return fmt.Errorf("relation: column %q has %d rows, table has %d", name, n, t.rows)
+	}
+	if null != nil && len(null) != n {
+		return fmt.Errorf("relation: column %q null mask has %d entries for %d rows", name, len(null), n)
+	}
+	return nil
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// Columns returns all columns in insertion order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Predicate is a selection condition evaluated per row.
+type Predicate interface {
+	// Eval reports whether row i of table t satisfies the predicate.
+	Eval(t *Table, row int) bool
+	// String renders the predicate in the paper's σ-subscript style.
+	String() string
+}
+
+// EqAnyStr matches rows whose string column equals any of the values — the
+// §5.2.3 categorical condition (a disjunction of equalities on one column).
+type EqAnyStr struct {
+	Col    string
+	Values []string
+}
+
+// Eval implements Predicate.
+func (p EqAnyStr) Eval(t *Table, row int) bool {
+	c := t.Column(p.Col)
+	if c == nil || c.Type != String || c.IsNull(row) {
+		return false
+	}
+	v := c.Str(row)
+	for _, w := range p.Values {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (p EqAnyStr) String() string {
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = fmt.Sprintf("%s=%q", p.Col, v)
+	}
+	return strings.Join(parts, "∨")
+}
+
+// EqAnyInt matches rows whose int column equals any of the values (the
+// paper treats birthMonth and birthDay as categorical).
+type EqAnyInt struct {
+	Col    string
+	Values []int64
+}
+
+// Eval implements Predicate.
+func (p EqAnyInt) Eval(t *Table, row int) bool {
+	c := t.Column(p.Col)
+	if c == nil || c.Type != Int || c.IsNull(row) {
+		return false
+	}
+	v := c.Int(row)
+	for _, w := range p.Values {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Predicate.
+func (p EqAnyInt) String() string {
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = fmt.Sprintf("%s=%d", p.Col, v)
+	}
+	return strings.Join(parts, "∨")
+}
+
+// IntRange matches rows with col > Lo (when HasLo) and col < Hi (when
+// HasHi) — the strict open intervals of §5.2.3's numerical conditions.
+type IntRange struct {
+	Col    string
+	Lo, Hi int64
+	HasLo  bool
+	HasHi  bool
+}
+
+// Eval implements Predicate.
+func (p IntRange) Eval(t *Table, row int) bool {
+	c := t.Column(p.Col)
+	if c == nil || c.Type != Int || c.IsNull(row) {
+		return false
+	}
+	v := c.Int(row)
+	if p.HasLo && v <= p.Lo {
+		return false
+	}
+	if p.HasHi && v >= p.Hi {
+		return false
+	}
+	return p.HasLo || p.HasHi
+}
+
+// String implements Predicate.
+func (p IntRange) String() string {
+	switch {
+	case p.HasLo && p.HasHi:
+		return fmt.Sprintf("%s>%d∧%s<%d", p.Col, p.Lo, p.Col, p.Hi)
+	case p.HasLo:
+		return fmt.Sprintf("%s>%d", p.Col, p.Lo)
+	case p.HasHi:
+		return fmt.Sprintf("%s<%d", p.Col, p.Hi)
+	default:
+		return "false"
+	}
+}
+
+// And is the conjunction of predicates.
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(t *Table, row int) bool {
+	for _, q := range p {
+		if !q.Eval(t, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Predicate.
+func (p And) String() string {
+	parts := make([]string, len(p))
+	for i, q := range p {
+		s := q.String()
+		if strings.Contains(s, "∨") {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, "∧")
+}
+
+// Query is a named selection over a table.
+type Query struct {
+	Name string
+	Pred Predicate
+}
+
+// String renders the query like the paper's σ_pred(Table).
+func (q Query) String() string { return "σ_" + q.Pred.String() }
+
+// Select returns the sorted row IDs of t satisfying p.
+func Select(t *Table, p Predicate) []uint32 {
+	var out []uint32
+	for i := 0; i < t.rows; i++ {
+		if p.Eval(t, i) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// Eval runs the query against t.
+func (q Query) Eval(t *Table) []uint32 { return Select(t, q.Pred) }
+
+// DistinctStrings returns the sorted distinct non-NULL values of a string
+// column (used to build candidate conditions).
+func DistinctStrings(t *Table, col string, rows []uint32) []string {
+	c := t.Column(col)
+	if c == nil || c.Type != String {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if !c.IsNull(int(r)) {
+			seen[c.Str(int(r))] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistinctInts returns the sorted distinct non-NULL values of an int column
+// over the given rows. ok is false when any row is NULL (the paper's
+// candidate construction skips columns with missing example values).
+func DistinctInts(t *Table, col string, rows []uint32) (vals []int64, ok bool) {
+	c := t.Column(col)
+	if c == nil || c.Type != Int {
+		return nil, false
+	}
+	seen := make(map[int64]bool)
+	for _, r := range rows {
+		if c.IsNull(int(r)) {
+			return nil, false
+		}
+		seen[c.Int(int(r))] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}

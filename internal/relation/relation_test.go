@@ -1,0 +1,199 @@
+package relation
+
+import (
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable("People")
+	mustAddStr := func(name string, vals []string, null []bool) {
+		if err := tab.AddStringColumn(name, vals, null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAddInt := func(name string, vals []int64, null []bool) {
+		if err := tab.AddIntColumn(name, vals, null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAddStr("city", []string{"Chicago", "Seattle", "Chicago", "Austin", "Boston"}, nil)
+	mustAddInt("height", []int64{62, 73, 70, 80, 75}, nil)
+	mustAddInt("year", []int64{1950, 1960, 1970, 1980, 1990},
+		[]bool{false, false, true, false, false})
+	return tab
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := sampleTable(t)
+	if tab.NumRows() != 5 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if tab.Column("city") == nil || tab.Column("missing") != nil {
+		t.Error("Column lookup wrong")
+	}
+	if len(tab.Columns()) != 3 {
+		t.Errorf("Columns() = %d", len(tab.Columns()))
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	tab := NewTable("T")
+	if err := tab.AddIntColumn("a", []int64{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddIntColumn("a", []int64{1, 2}, nil); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := tab.AddIntColumn("b", []int64{1}, nil); err == nil {
+		t.Error("row count mismatch accepted")
+	}
+	if err := tab.AddIntColumn("c", []int64{1, 2}, []bool{true}); err == nil {
+		t.Error("null mask length mismatch accepted")
+	}
+	if err := tab.AddStringColumn("d", []string{"x"}, nil); err == nil {
+		t.Error("string column with wrong length accepted")
+	}
+}
+
+func TestEqAnyStr(t *testing.T) {
+	tab := sampleTable(t)
+	p := EqAnyStr{Col: "city", Values: []string{"Chicago", "Seattle"}}
+	got := Select(tab, p)
+	want := []uint32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Select = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Select = %v, want %v", got, want)
+		}
+	}
+	if s := p.String(); s != `city="Chicago"∨city="Seattle"` {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestEqAnyStrTypeMismatch(t *testing.T) {
+	tab := sampleTable(t)
+	if got := Select(tab, EqAnyStr{Col: "height", Values: []string{"62"}}); len(got) != 0 {
+		t.Errorf("string predicate on int column selected %v", got)
+	}
+	if got := Select(tab, EqAnyStr{Col: "none", Values: []string{"x"}}); len(got) != 0 {
+		t.Errorf("predicate on missing column selected %v", got)
+	}
+}
+
+func TestEqAnyInt(t *testing.T) {
+	tab := sampleTable(t)
+	got := Select(tab, EqAnyInt{Col: "height", Values: []int64{62, 80}})
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestIntRangeStrictBounds(t *testing.T) {
+	tab := sampleTable(t)
+	// height > 70 ∧ height < 80: picks 73 and 75, excludes 70 and 80.
+	p := IntRange{Col: "height", Lo: 70, Hi: 80, HasLo: true, HasHi: true}
+	got := Select(tab, p)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("Select = %v", got)
+	}
+	if s := p.String(); s != "height>70∧height<80" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestIntRangeOpenEnds(t *testing.T) {
+	tab := sampleTable(t)
+	if got := Select(tab, IntRange{Col: "height", Lo: 74, HasLo: true}); len(got) != 2 {
+		t.Errorf("height>74 = %v", got)
+	}
+	if got := Select(tab, IntRange{Col: "height", Hi: 70, HasHi: true}); len(got) != 1 {
+		t.Errorf("height<70 = %v", got)
+	}
+	// Degenerate range with no bounds matches nothing.
+	if got := Select(tab, IntRange{Col: "height"}); len(got) != 0 {
+		t.Errorf("no-bound range = %v", got)
+	}
+}
+
+func TestNullNeverMatches(t *testing.T) {
+	tab := sampleTable(t)
+	// Row 2 has NULL year; year > 1900 must skip it.
+	got := Select(tab, IntRange{Col: "year", Lo: 1900, HasLo: true})
+	for _, r := range got {
+		if r == 2 {
+			t.Error("NULL row matched a range predicate")
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("year>1900 = %v", got)
+	}
+	if got := Select(tab, EqAnyInt{Col: "year", Values: []int64{1970}}); len(got) != 0 {
+		t.Errorf("NULL row matched equality: %v", got)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	tab := sampleTable(t)
+	p := And{
+		EqAnyStr{Col: "city", Values: []string{"Chicago"}},
+		IntRange{Col: "height", Hi: 65, HasHi: true},
+	}
+	got := Select(tab, p)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Select = %v", got)
+	}
+	if s := p.String(); s != `city="Chicago"∧height<65` {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAndParenthesizesDisjunctions(t *testing.T) {
+	p := And{
+		EqAnyStr{Col: "city", Values: []string{"A", "B"}},
+		IntRange{Col: "h", Lo: 1, HasLo: true},
+	}
+	if s := p.String(); s != `(city="A"∨city="B")∧h>1` {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestQuery(t *testing.T) {
+	tab := sampleTable(t)
+	q := Query{Name: "T", Pred: EqAnyStr{Col: "city", Values: []string{"Austin"}}}
+	if got := q.Eval(tab); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if q.String() != `σ_city="Austin"` {
+		t.Errorf("String() = %q", q.String())
+	}
+}
+
+func TestDistinctStrings(t *testing.T) {
+	tab := sampleTable(t)
+	got := DistinctStrings(tab, "city", []uint32{0, 2, 3})
+	if len(got) != 2 || got[0] != "Austin" || got[1] != "Chicago" {
+		t.Fatalf("DistinctStrings = %v", got)
+	}
+	if DistinctStrings(tab, "height", []uint32{0}) != nil {
+		t.Error("DistinctStrings on int column returned values")
+	}
+}
+
+func TestDistinctInts(t *testing.T) {
+	tab := sampleTable(t)
+	got, ok := DistinctInts(tab, "height", []uint32{1, 0, 1})
+	if !ok || len(got) != 2 || got[0] != 62 || got[1] != 73 {
+		t.Fatalf("DistinctInts = %v, %v", got, ok)
+	}
+	// NULL in the example rows disqualifies the column.
+	if _, ok := DistinctInts(tab, "year", []uint32{2}); ok {
+		t.Error("DistinctInts accepted a NULL example value")
+	}
+	if _, ok := DistinctInts(tab, "city", []uint32{0}); ok {
+		t.Error("DistinctInts on string column reported ok")
+	}
+}

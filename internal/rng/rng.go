@@ -1,0 +1,202 @@
+// Package rng implements a small, deterministic, splittable pseudo-random
+// number generator (splitmix64 seeding a xoshiro256** state). Data
+// generators use it instead of math/rand so that every dataset in the
+// experiments is bit-for-bit reproducible across Go releases and platforms.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. The zero value is invalid; construct with
+// New. RNG is not safe for concurrent use; Split off independent streams for
+// parallel work.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, which guarantees
+// a well-mixed nonzero state for every seed (including 0).
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *RNG) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles p in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleUint32 shuffles p in place (Fisher–Yates).
+func (r *RNG) ShuffleUint32(p []uint32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// SampleUint32 returns k distinct elements sampled uniformly without
+// replacement from pool, in selection order. It panics if k > len(pool).
+// pool is not modified. For k close to len(pool) it shuffles a copy;
+// otherwise it uses Floyd's algorithm on indexes.
+func (r *RNG) SampleUint32(pool []uint32, k int) []uint32 {
+	n := len(pool)
+	if k > n {
+		panic("rng: SampleUint32 with k > len(pool)")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*3 >= n {
+		cp := make([]uint32, n)
+		copy(cp, pool)
+		r.ShuffleUint32(cp)
+		return cp[:k]
+	}
+	chosen := make(map[int]bool, k)
+	out := make([]uint32, 0, k)
+	// Floyd's: for j in n-k..n-1, pick t in [0,j]; take t unless taken, else j.
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		out = append(out, pool[t])
+	}
+	return out
+}
+
+// Split returns a new generator with a state derived from, but statistically
+// independent of, the receiver's stream. The receiver advances by one draw.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s > 0 using
+// inverse-CDF over precomputed weights is too costly per call, so this uses
+// rejection-free cumulative table built lazily per (n, s) by the caller via
+// NewZipf.
+type Zipf struct {
+	cum []float64
+	r   *RNG
+}
+
+// NewZipf builds a Zipf sampler over ranks [0, n) with P(i) proportional to
+// 1/(i+1)^s.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, r: r}
+}
+
+// Draw returns a rank in [0, n) with Zipf probabilities (binary search over
+// the cumulative table).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f beyond 5 sigma", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("IntRange(5,8) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 8; v++ {
+		if !seen[v] {
+			t.Errorf("IntRange never produced %d", v)
+		}
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	r := New(3)
+	if v := r.IntRange(4, 4); v != 4 {
+		t.Errorf("IntRange(4,4) = %d", v)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleUint32(t *testing.T) {
+	r := New(8)
+	pool := make([]uint32, 100)
+	for i := range pool {
+		pool[i] = uint32(i)
+	}
+	for _, k := range []int{0, 1, 5, 50, 99, 100} {
+		got := r.SampleUint32(pool, k)
+		if len(got) != k {
+			t.Fatalf("SampleUint32 k=%d returned %d elems", k, len(got))
+		}
+		seen := make(map[uint32]bool)
+		for _, v := range got {
+			if v >= 100 || seen[v] {
+				t.Fatalf("SampleUint32 k=%d invalid output %v", k, got)
+			}
+			seen[v] = true
+		}
+	}
+	// pool must be unmodified
+	for i, v := range pool {
+		if v != uint32(i) {
+			t.Fatal("SampleUint32 modified its input pool")
+		}
+	}
+}
+
+func TestSampleUint32PanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleUint32(pool, len+1) did not panic")
+		}
+	}()
+	New(1).SampleUint32([]uint32{1, 2}, 3)
+}
+
+func TestSampleUint32Coverage(t *testing.T) {
+	// Every element should be sampleable: over many draws of k=1 from a pool
+	// of 10, all 10 values appear.
+	r := New(21)
+	pool := []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	seen := make(map[uint32]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.SampleUint32(pool, 1)[0]] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("k=1 sampling covered only %d/10 values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(77)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from split streams", same)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(9)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf.Draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Errorf("Zipf counts not decreasing: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almost(s.Std, 2.138, 0.001) {
+		t.Errorf("Std = %f, want ~2.138 (sample)", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %f/%f", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %f, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	if got := Summarize([]float64{3, 1, 2}).Median; got != 2 {
+		t.Errorf("Median = %f, want 2", got)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Std != 0 || s.Median != 42 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean([1,2,3]) != 2")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almost(got, x, 1e-12) {
+			t.Errorf("I_%f(1,1) = %g", x, got)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); !almost(got, want, 1e-12) {
+			t.Errorf("I_%f(2,2) = %g, want %g", x, got, want)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// With 1 df Student's t is the Cauchy distribution:
+	// CDF(t) = 1/2 + arctan(t)/π.
+	for _, tv := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := 0.5 + math.Atan(tv)/math.Pi
+		if got := StudentTCDF(tv, 1); !almost(got, want, 1e-10) {
+			t.Errorf("T CDF(%f; 1) = %g, want %g", tv, got, want)
+		}
+	}
+	// Reference values for 10 df (from standard tables):
+	// P(T ≤ 1.812) ≈ 0.95, P(T ≤ 2.764) ≈ 0.99.
+	if got := StudentTCDF(1.812, 10); !almost(got, 0.95, 0.001) {
+		t.Errorf("CDF(1.812; 10) = %g, want ~0.95", got)
+	}
+	if got := StudentTCDF(2.764, 10); !almost(got, 0.99, 0.001) {
+		t.Errorf("CDF(2.764; 10) = %g, want ~0.99", got)
+	}
+	if StudentTCDF(math.Inf(1), 5) != 1 || StudentTCDF(math.Inf(-1), 5) != 0 {
+		t.Error("infinite t mishandled")
+	}
+	if got := StudentTCDF(0, 7); !almost(got, 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %g, want 0.5", got)
+	}
+}
+
+func TestPairedTTestDetectsImprovement(t *testing.T) {
+	// a consistently ~1 above b: strongly significant.
+	a := []float64{10, 11, 12, 10, 11, 12, 10, 11, 12, 11}
+	b := []float64{9, 10, 11, 9, 10.2, 10.8, 9.1, 9.9, 11.1, 10}
+	res, err := PairedTTestGreater(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 9 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	if res.T <= 0 || res.P >= 0.01 {
+		t.Errorf("expected significant improvement: t=%f p=%f", res.T, res.P)
+	}
+}
+
+func TestPairedTTestNoDifference(t *testing.T) {
+	a := []float64{5, 6, 7, 8}
+	res, err := PairedTTestGreater(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 || res.P != 0.5 {
+		t.Errorf("identical samples: t=%f p=%f, want 0/0.5", res.T, res.P)
+	}
+}
+
+func TestPairedTTestConstantPositiveDifference(t *testing.T) {
+	a := []float64{2, 3, 4}
+	b := []float64{1, 2, 3}
+	res, err := PairedTTestGreater(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.T, 1) || res.P != 0 {
+		t.Errorf("constant improvement: t=%f p=%f", res.T, res.P)
+	}
+}
+
+func TestPairedTTestWrongDirection(t *testing.T) {
+	a := []float64{1, 2, 1.5, 1.2, 0.9, 1.8}
+	b := []float64{5, 6, 5.5, 5.2, 4.9, 5.8}
+	res, err := PairedTTestGreater(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.95 {
+		t.Errorf("a << b should give p near 1, got %f", res.P)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTestGreater([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedTTestGreater([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almost(got, 10, 1e-9) {
+		t.Errorf("GeoMean(1,100) = %f", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Error("degenerate GeoMean not 0")
+	}
+}
+
+func TestTCDFAgreesWithLargeNormalApprox(t *testing.T) {
+	// For large df the t distribution approaches the standard normal:
+	// P(T ≤ 1.96; 10000) ≈ 0.975.
+	if got := StudentTCDF(1.96, 10000); !almost(got, 0.975, 0.001) {
+		t.Errorf("CDF(1.96; 10000) = %g", got)
+	}
+}

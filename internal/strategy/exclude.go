@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+)
+
+// Excluder is implemented by strategies that can avoid proposing specific
+// entities. Interactive discovery uses it for §6's "don't know" answers:
+// the same sub-collection is re-queried with the unsure entities excluded.
+type Excluder interface {
+	Strategy
+	// SelectExcluding behaves like Select but never returns an entity in
+	// excluded. It reports false when every informative entity is excluded.
+	SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool)
+}
+
+// SelectExcluding implements Excluder for MostEven.
+func (s MostEven) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	infos := sub.InformativeEntities()
+	n := sub.Size()
+	found := false
+	var best dataset.Entity
+	bestUneven := 0
+	for _, ec := range infos {
+		if excluded[ec.Entity] {
+			continue
+		}
+		if u := abs(2*ec.Count - n); !found || u < bestUneven {
+			best, bestUneven, found = ec.Entity, u, true
+		}
+	}
+	return best, found
+}
+
+// SelectExcluding implements Excluder for InfoGain. Exclusion filters the
+// candidates before the usual gain comparison.
+func (s InfoGain) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	infos := sub.InformativeEntities()
+	n := sub.Size()
+	found := false
+	var best dataset.Entity
+	bestEnt, bestUneven := 0.0, 0
+	for _, ec := range infos {
+		if excluded[ec.Entity] {
+			continue
+		}
+		e := weightedChildEntropy(ec.Count, n-ec.Count)
+		u := abs(2*ec.Count - n)
+		if !found || e < bestEnt || (e == bestEnt && u < bestUneven) {
+			best, bestEnt, bestUneven, found = ec.Entity, e, u, true
+		}
+	}
+	return best, found
+}
+
+// SelectExcluding implements Excluder for Indg.
+func (s Indg) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	infos := sub.InformativeEntities()
+	n := sub.Size()
+	found := false
+	var best dataset.Entity
+	var bestPairs int64
+	for _, ec := range infos {
+		if excluded[ec.Entity] {
+			continue
+		}
+		n1, n2 := int64(ec.Count), int64(n-ec.Count)
+		pairs := n1*(n1-1)/2 + n2*(n2-1)/2
+		if !found || pairs < bestPairs {
+			best, bestPairs, found = ec.Entity, pairs, true
+		}
+	}
+	return best, found
+}
+
+// SelectExcluding implements Excluder for KLP. Exclusion applies only to the
+// entity proposed at the node itself; lookahead below the node may still
+// reason with excluded entities (their bounds stay valid — only the next
+// *question* is constrained). The node-level memo cache is bypassed while
+// exclusions are active because cached selections ignore them.
+func (s *KLP) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	if sub.Size() <= 1 {
+		return 0, false
+	}
+	if len(excluded) == 0 {
+		return s.Select(sub)
+	}
+	s.excluded = excluded
+	defer func() { s.excluded = nil }()
+	e, _, found := s.search(sub, s.k, cost.Inf, 0)
+	return e, found
+}
+
+// SelectExcluding implements Excluder for GainK.
+func (g *GainK) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
+	if sub.Size() <= 1 {
+		return 0, false
+	}
+	saved := g.excluded
+	g.excluded = excluded
+	defer func() { g.excluded = saved }()
+	return g.Select(sub)
+}

@@ -1,0 +1,111 @@
+package strategy
+
+import (
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/testutil"
+)
+
+// All strategies advertised as Excluder must satisfy the contract.
+func TestExcluderConformance(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.All()
+	excluders := []Excluder{
+		MostEven{},
+		InfoGain{},
+		Indg{},
+		NewKLP(cost.AD, 2),
+		NewGainK(2),
+	}
+	for _, ex := range excluders {
+		first, ok := ex.SelectExcluding(sub, nil)
+		if !ok {
+			t.Fatalf("%s: nothing selected with empty exclusion", ex.Name())
+		}
+		second, ok := ex.SelectExcluding(sub, map[dataset.Entity]bool{first: true})
+		if !ok {
+			t.Fatalf("%s: nothing selected after one exclusion", ex.Name())
+		}
+		if second == first {
+			t.Errorf("%s: returned the excluded entity", ex.Name())
+		}
+		all := make(map[dataset.Entity]bool)
+		for _, ec := range sub.InformativeEntities() {
+			all[ec.Entity] = true
+		}
+		if _, ok := ex.SelectExcluding(sub, all); ok {
+			t.Errorf("%s: selected despite all entities excluded", ex.Name())
+		}
+	}
+}
+
+// Exclusions bypass the node cache; they must neither read stale unexcluded
+// selections nor poison the cache for later unrestricted calls.
+func TestKLPExclusionDoesNotPoisonCache(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.All()
+	s := NewKLP(cost.AD, 2)
+	before, ok := s.Select(sub)
+	if !ok {
+		t.Fatal("selection failed")
+	}
+	excluded, ok := s.SelectExcluding(sub, map[dataset.Entity]bool{before: true})
+	if !ok || excluded == before {
+		t.Fatalf("SelectExcluding returned %d, %v", excluded, ok)
+	}
+	after, ok := s.Select(sub)
+	if !ok || after != before {
+		t.Errorf("cache poisoned: Select before=%d after=%d", before, after)
+	}
+}
+
+// The excluded selection must still be the best non-excluded entity: its
+// k-step bound may not exceed that of any other non-excluded entity.
+func TestKLPExclusionStillOptimal(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 30; trial++ {
+		c := testutil.RandomCollection(r, 3+r.Intn(12), 2+r.Intn(8))
+		sub := c.All()
+		if sub.Size() < 3 {
+			continue
+		}
+		s := NewKLP(cost.AD, 2)
+		first, ok := s.Select(sub)
+		if !ok {
+			continue
+		}
+		ex := map[dataset.Entity]bool{first: true}
+		chosen, ok := s.SelectExcluding(sub, ex)
+		if !ok {
+			continue // only one informative entity existed
+		}
+		chosenVal := boundOf(t, sub, chosen)
+		for _, ec := range sub.InformativeEntities() {
+			if ex[ec.Entity] {
+				continue
+			}
+			if v := boundOf(t, sub, ec.Entity); v < chosenVal {
+				t.Errorf("trial %d: excluded-selection %d has bound %d, entity %d has %d",
+					trial, chosen, chosenVal, ec.Entity, v)
+			}
+		}
+	}
+}
+
+// boundOf computes the exact 2-step bound of one entity via an unpruned
+// search restricted to it.
+func boundOf(t *testing.T, sub *dataset.Subset, e dataset.Entity) cost.Value {
+	t.Helper()
+	with, without := sub.Partition(e)
+	l1, l2 := cost.Value(0), cost.Value(0)
+	if with.Size() > 1 {
+		_, l1, _ = NewKLP(cost.AD, 1).LowerBound(with)
+	}
+	if without.Size() > 1 {
+		_, l2, _ = NewKLP(cost.AD, 1).LowerBound(without)
+	}
+	return cost.Combine(cost.AD, with.Size(), l1, without.Size(), l2)
+}

@@ -1,0 +1,119 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/testutil"
+)
+
+// referenceGain2 is a direct, unoptimised transcription of the gain-2
+// definition used to guard the fast path in GainK.entropy (the j==1 branch
+// avoids partitioning; this reference always partitions).
+func referenceGain2Value(sub *dataset.Subset, e dataset.Entity) float64 {
+	with, without := sub.Partition(e)
+	return (float64(with.Size())*referenceEnt1(with) +
+		float64(without.Size())*referenceEnt1(without)) / float64(sub.Size())
+}
+
+func referenceEnt1(sub *dataset.Subset) float64 {
+	n := sub.Size()
+	if n <= 1 {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, ec := range sub.InformativeEntities() {
+		with, without := sub.Partition(ec.Entity)
+		v := (xlog2(with.Size()) + xlog2(without.Size())) / float64(n)
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestGainKFastPathMatchesReference(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		c := testutil.RandomCollection(r, 3+r.Intn(12), 2+r.Intn(8))
+		sub := c.All()
+		if sub.Size() < 3 {
+			continue
+		}
+		g := NewGainK(2)
+		selected, ok := g.Select(sub)
+		if !ok {
+			t.Fatal("gain-2 found nothing")
+		}
+		// The selected entity must achieve the minimum reference value.
+		best := math.Inf(1)
+		for _, ec := range sub.InformativeEntities() {
+			if v := referenceGain2Value(sub, ec.Entity); v < best {
+				best = v
+			}
+		}
+		got := referenceGain2Value(sub, selected)
+		if math.Abs(got-best) > 1e-9 {
+			t.Errorf("trial %d: selected entity has gain-2 value %f, optimum %f",
+				trial, got, best)
+		}
+	}
+}
+
+func TestGainKSelectExcluding(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.All()
+	g := NewGainK(2)
+	first, ok := g.Select(sub)
+	if !ok {
+		t.Fatal("selection failed")
+	}
+	second, ok := g.SelectExcluding(sub, map[dataset.Entity]bool{first: true})
+	if !ok {
+		t.Fatal("exclusion left nothing selectable")
+	}
+	if second == first {
+		t.Error("SelectExcluding returned the excluded entity")
+	}
+	// Excluding everything informative must fail cleanly.
+	all := make(map[dataset.Entity]bool)
+	for _, ec := range sub.InformativeEntities() {
+		all[ec.Entity] = true
+	}
+	if _, ok := g.SelectExcluding(sub, all); ok {
+		t.Error("SelectExcluding with all entities excluded still selected")
+	}
+}
+
+func TestGainKNames(t *testing.T) {
+	if NewGainK(3).Name() != "gain-3" {
+		t.Errorf("Name = %q", NewGainK(3).Name())
+	}
+	if NewGainKMemo(2).Name() != "gain-2(memo)" {
+		t.Errorf("Name = %q", NewGainKMemo(2).Name())
+	}
+}
+
+func TestGainKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGainK(0) did not panic")
+		}
+	}()
+	NewGainK(0)
+}
+
+func TestGainKMemoReusesCache(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.All()
+	g := NewGainKMemo(3)
+	g.Select(sub)
+	evalsFirst := g.Evaluations
+	g.Select(sub)
+	if delta := g.Evaluations - evalsFirst; delta >= evalsFirst {
+		t.Errorf("second select did %d evaluations, first %d — cache unused",
+			delta, evalsFirst)
+	}
+}

@@ -1,0 +1,116 @@
+// Package strategy implements the entity-selection strategies of §4: the
+// paper's k-step lookahead algorithms with pruning (k-LP, k-LPLE, k-LPLVE,
+// Algorithm 1) and the baselines they are compared against (most-even
+// partitioning, information gain, indistinguishable pairs, and the unpruned
+// gain-k lookahead of Esmeir & Markovitch).
+//
+// A Strategy picks, for a sub-collection of candidate sets, the entity whose
+// membership question should be asked next. Tree construction (Algorithm 3)
+// and interactive discovery (Algorithm 2) are layered on top in the tree and
+// discovery packages.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+)
+
+// Strategy selects the entity for the next membership question. Select
+// returns false when the sub-collection has no informative entity (size ≤ 1,
+// or every entity is present in all or none of the member sets — impossible
+// for >1 unique sets).
+type Strategy interface {
+	Name() string
+	Select(sub *dataset.Subset) (dataset.Entity, bool)
+}
+
+// candidate is an informative entity with its split statistics.
+type candidate struct {
+	entity dataset.Entity
+	with   int        // member sets containing the entity (|C1|)
+	lb1    cost.Value // 1-step scaled lower bound (eqs 3–4)
+	uneven int        // |‖C1|−|C2‖ = |2·with − n|; 0 is perfectly even
+}
+
+// candidates lists the informative entities of sub with LB1 under metric m,
+// in entity-ID order.
+func candidates(sub *dataset.Subset, m cost.Metric) []candidate {
+	infos := sub.InformativeEntities()
+	n := sub.Size()
+	out := make([]candidate, len(infos))
+	for i, ec := range infos {
+		out[i] = candidate{
+			entity: ec.Entity,
+			with:   ec.Count,
+			lb1:    cost.LB1(m, ec.Count, n-ec.Count),
+			uneven: abs(2*ec.Count - n),
+		}
+	}
+	return out
+}
+
+// sortByLB1 orders candidates by 1-step bound, then evenness, then entity ID
+// (Algorithm 1 line 11; see DESIGN.md on why LB1 is the primary key rather
+// than evenness).
+func sortByLB1(cands []candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.lb1 != b.lb1 {
+			return a.lb1 < b.lb1
+		}
+		if a.uneven != b.uneven {
+			return a.uneven < b.uneven
+		}
+		return a.entity < b.entity
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// New builds a strategy by name. Recognised names (case-insensitive):
+//
+//	most-even            greedy most-even partitioning (§4.2.1)
+//	infogain             information gain (§4.2.2, eq 9)
+//	indg                 indistinguishable pairs (§4.2.3, eq 10)
+//	lb1                  1-step cost lower bound (§4.2.4; ≡ klp with k=1)
+//	klp                  k-LP (Algorithm 1) with the given k
+//	klple                k-LPLE with the given k and q
+//	klplve               k-LPLVE with the given k and q
+//	gaink                unpruned gain-k lookahead (Esmeir & Markovitch)
+//	gaink-memo           gain-k with memoisation (ablation)
+//
+// m is the cost metric for the lookahead strategies; k and q are ignored by
+// strategies that do not use them.
+func New(name string, m cost.Metric, k, q int) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "most-even", "mosteven":
+		return MostEven{}, nil
+	case "infogain", "info-gain":
+		return InfoGain{}, nil
+	case "indg":
+		return Indg{}, nil
+	case "lb1":
+		return NewKLP(m, 1), nil
+	case "klp", "k-lp":
+		return NewKLP(m, k), nil
+	case "klple", "k-lple":
+		return NewKLPLE(m, k, q), nil
+	case "klplve", "k-lplve":
+		return NewKLPLVE(m, k, q), nil
+	case "gaink", "gain-k":
+		return NewGainK(k), nil
+	case "gaink-memo", "gain-k-memo":
+		return NewGainKMemo(k), nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+	}
+}

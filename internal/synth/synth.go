@@ -1,0 +1,126 @@
+// Package synth generates the synthetic set collections of §5.2.2: a
+// copy-add preferential mechanism where each new set copies an α fraction of
+// its elements from a previously generated set and draws the rest fresh from
+// the entity universe. The 19 collections of Table 1 are sweeps over the
+// overlap ratio α, the set-size range d and the number of sets n.
+package synth
+
+import (
+	"fmt"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+)
+
+// Params configures a synthetic collection.
+type Params struct {
+	N                int     // number of sets
+	SizeMin, SizeMax int     // set-size range d (inclusive)
+	Alpha            float64 // overlap ratio α ∈ [0, 1)
+	Seed             uint64  // generator seed; same seed, same collection
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("synth: N = %d, need ≥ 1", p.N)
+	}
+	if p.SizeMin < 1 || p.SizeMax < p.SizeMin {
+		return fmt.Errorf("synth: bad size range [%d, %d]", p.SizeMin, p.SizeMax)
+	}
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return fmt.Errorf("synth: α = %f outside [0, 1)", p.Alpha)
+	}
+	return nil
+}
+
+// String renders the parameters in Table 1 style.
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d d=%d-%d α=%.2f", p.N, p.SizeMin, p.SizeMax, p.Alpha)
+}
+
+// Generate builds the collection. Every set ends up unique by construction:
+// α < 1 guarantees at least one globally fresh entity per set.
+//
+// Mechanism per set (§5.2.2): draw size s uniformly from [SizeMin, SizeMax];
+// copy ⌊α·s⌋ elements sampled without replacement from one uniformly chosen
+// previously generated set (all of it when it is smaller, with the shortfall
+// made up from the universe); add fresh universe elements to reach s.
+func Generate(p Params) (*dataset.Collection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed)
+	names := make([]string, p.N)
+	elems := make([][]dataset.Entity, p.N)
+	nextEntity := uint32(0)
+	fresh := func() dataset.Entity {
+		e := nextEntity
+		nextEntity++
+		return e
+	}
+	for i := 0; i < p.N; i++ {
+		s := r.IntRange(p.SizeMin, p.SizeMax)
+		set := make([]dataset.Entity, 0, s)
+		if i > 0 {
+			want := int(p.Alpha * float64(s))
+			prev := elems[r.Intn(i)]
+			if want > len(prev) {
+				want = len(prev)
+			}
+			if want > 0 {
+				set = append(set, r.SampleUint32(prev, want)...)
+			}
+		}
+		for len(set) < s {
+			set = append(set, fresh())
+		}
+		names[i] = fmt.Sprintf("T%06d", i)
+		elems[i] = set
+	}
+	// Copied elements come from a single set, fresh ones are new, so
+	// within-set duplicates are impossible and every set is unique; build
+	// strictly (no duplicate dropping) to enforce that invariant.
+	return dataset.FromIDSets(names, elems, int(nextEntity), false)
+}
+
+// Table1a returns the α sweep of Table 1(a): n = 10k, d = 50–60,
+// α ∈ {0.99, 0.95, 0.90, …, 0.65}. scale divides n for quick runs
+// (scale = 1 reproduces the paper's sizes).
+func Table1a(scale int) []Params {
+	alphas := []float64{0.99, 0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65}
+	out := make([]Params, len(alphas))
+	for i, a := range alphas {
+		out[i] = Params{N: max(10, 10000/scale), SizeMin: 50, SizeMax: 60, Alpha: a, Seed: 0xA1 + uint64(i)}
+	}
+	return out
+}
+
+// Table1b returns the n sweep of Table 1(b): α = 0.9, d = 50–60,
+// n ∈ {10k, 20k, 40k, 80k, 160k} divided by scale.
+func Table1b(scale int) []Params {
+	ns := []int{10000, 20000, 40000, 80000, 160000}
+	out := make([]Params, len(ns))
+	for i, n := range ns {
+		out[i] = Params{N: max(10, n/scale), SizeMin: 50, SizeMax: 60, Alpha: 0.9, Seed: 0xB1 + uint64(i)}
+	}
+	return out
+}
+
+// Table1c returns the d sweep of Table 1(c): n = 10k, α = 0.9,
+// d ∈ {50–100, 100–150, …, 300–350}.
+func Table1c(scale int) []Params {
+	ranges := [][2]int{{50, 100}, {100, 150}, {150, 200}, {200, 250}, {250, 300}, {300, 350}}
+	out := make([]Params, len(ranges))
+	for i, d := range ranges {
+		out[i] = Params{N: max(10, 10000/scale), SizeMin: d[0], SizeMax: d[1], Alpha: 0.9, Seed: 0xC1 + uint64(i)}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"testing"
+
+	"setdiscovery/internal/setops"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	c, err := Generate(Params{N: 500, SizeMin: 20, SizeMax: 30, Alpha: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 500 {
+		t.Fatalf("Len = %d, want 500 (all sets unique by construction)", c.Len())
+	}
+	for _, s := range c.Sets() {
+		if s.Len() < 20 || s.Len() > 30 {
+			t.Errorf("set %s size %d outside [20, 30]", s.Name, s.Len())
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	p := Params{N: 200, SizeMin: 10, SizeMax: 15, Alpha: 0.7, Seed: 99}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.NumEntities() != b.NumEntities() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !setops.Equal(a.Set(i).Elems, b.Set(i).Elems) {
+			t.Fatalf("set %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Params{N: 100, SizeMin: 10, SizeMax: 15, Alpha: 0.7, Seed: 1})
+	b, _ := Generate(Params{N: 100, SizeMin: 10, SizeMax: 15, Alpha: 0.7, Seed: 2})
+	same := 0
+	for i := 0; i < 100; i++ {
+		if setops.Equal(a.Set(i).Elems, b.Set(i).Elems) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical sets across seeds", same)
+	}
+}
+
+func TestAlphaControlsDistinctEntities(t *testing.T) {
+	distinct := func(alpha float64) int {
+		c, err := Generate(Params{N: 1000, SizeMin: 50, SizeMax: 60, Alpha: alpha, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.DistinctEntities()
+	}
+	d99, d90, d65 := distinct(0.99), distinct(0.90), distinct(0.65)
+	// Table 1(a) shape: higher overlap, fewer distinct entities.
+	if !(d99 < d90 && d90 < d65) {
+		t.Errorf("distinct entities not decreasing in α: %d, %d, %d", d99, d90, d65)
+	}
+}
+
+func TestDistinctEntitiesMatchTable1aShape(t *testing.T) {
+	// Paper (n=10k, d=50–60): α=0.90 → 59k distinct, i.e. ≈ 5.9 fresh
+	// entities per set. At n=1k the same mechanism should give ≈ 5.9k.
+	c, err := Generate(Params{N: 1000, SizeMin: 50, SizeMax: 60, Alpha: 0.9, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSet := float64(c.DistinctEntities()) / 1000
+	if perSet < 4.5 || perSet > 7.5 {
+		t.Errorf("fresh entities per set = %.2f, want ≈ 5.9 (Table 1a shape)", perSet)
+	}
+}
+
+func TestZeroAlphaIsDisjoint(t *testing.T) {
+	c, err := Generate(Params{N: 50, SizeMin: 5, SizeMax: 8, Alpha: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.DistinctEntities != st.TotalElements {
+		t.Errorf("α=0: %d distinct != %d total elements (sets must be disjoint)",
+			st.DistinctEntities, st.TotalElements)
+	}
+}
+
+func TestHighAlphaOverlapsWithSomePriorSet(t *testing.T) {
+	c, err := Generate(Params{N: 100, SizeMin: 20, SizeMax: 25, Alpha: 0.9, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every set after the first must share ≥ 50% of its elements with at
+	// least one earlier set (it copied 90% from one of them).
+	for i := 1; i < c.Len(); i++ {
+		me := c.Set(i).Elems
+		bestOverlap := 0
+		for j := 0; j < i; j++ {
+			if ov := setops.IntersectCount(me, c.Set(j).Elems); ov > bestOverlap {
+				bestOverlap = ov
+			}
+		}
+		if bestOverlap*2 < len(me) {
+			t.Fatalf("set %d shares only %d/%d with its best earlier set", i, bestOverlap, len(me))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{N: 0, SizeMin: 1, SizeMax: 2, Alpha: 0.5},
+		{N: 10, SizeMin: 0, SizeMax: 2, Alpha: 0.5},
+		{N: 10, SizeMin: 5, SizeMax: 4, Alpha: 0.5},
+		{N: 10, SizeMin: 1, SizeMax: 2, Alpha: 1.0},
+		{N: 10, SizeMin: 1, SizeMax: 2, Alpha: -0.1},
+	}
+	for _, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate(%v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestTable1Sweeps(t *testing.T) {
+	if got := len(Table1a(100)); got != 8 {
+		t.Errorf("Table1a has %d settings, want 8", got)
+	}
+	if got := len(Table1b(100)); got != 5 {
+		t.Errorf("Table1b has %d settings, want 5", got)
+	}
+	if got := len(Table1c(100)); got != 6 {
+		t.Errorf("Table1c has %d settings, want 6", got)
+	}
+	for _, p := range Table1a(100) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Table1a params invalid: %v", err)
+		}
+	}
+	// Scaled sweeps keep a usable minimum size.
+	for _, p := range Table1b(1000000) {
+		if p.N < 10 {
+			t.Errorf("overscaled sweep produced N=%d", p.N)
+		}
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{N: 10, SizeMin: 5, SizeMax: 6, Alpha: 0.9}
+	if got := p.String(); got != "n=10 d=5-6 α=0.90" {
+		t.Errorf("String() = %q", got)
+	}
+}

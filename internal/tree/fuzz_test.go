@@ -1,0 +1,41 @@
+package tree
+
+import (
+	"bytes"
+	"testing"
+
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/testutil"
+)
+
+// FuzzReadBinary checks the tree parser never panics and only accepts trees
+// that validate against the collection.
+func FuzzReadBinary(f *testing.F) {
+	c := testutil.PaperCollection()
+	tr, err := Build(c.All(), strategy.MostEven{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SDT1"))
+	f.Add([]byte{})
+	f.Add([]byte("SDT1\x07\x01\x00"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		loaded, err := ReadBinary(bytes.NewReader(input), c)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a fully valid tree over some subset of
+		// the collection: Follow must terminate for every set.
+		for _, s := range c.Sets() {
+			leaf, q := loaded.Follow(s)
+			if leaf == nil || q < 0 || q > loaded.Leaves {
+				t.Fatalf("accepted tree misbehaves on Follow(%s)", s.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"setdiscovery/internal/dataset"
+)
+
+// Binary tree serialization, for the paper's offline-construction mode
+// (§4.5): a tree built once for a static collection is persisted and
+// reloaded by later sessions, so discovery pays only one path walk.
+//
+// Layout: magic "SDT1", leaf count, then the tree in preorder — internal
+// nodes as 0x00 followed by the question entity (uvarint), leaves as 0x01
+// followed by the set index (uvarint). The collection itself is serialized
+// separately (dataset.WriteBinary/WriteText); ReadBinary re-binds leaves to
+// the given collection and re-validates the §3 invariants.
+
+const treeMagic = "SDT1"
+
+const (
+	tagInternal = 0x00
+	tagLeaf     = 0x01
+)
+
+// WriteBinary writes the tree in the binary format.
+func (t *Tree) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(treeMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(t.Leaves))
+	var emit func(n *Node) error
+	emit = func(n *Node) error {
+		if n.Leaf() {
+			if err := bw.WriteByte(tagLeaf); err != nil {
+				return err
+			}
+			writeUvarint(bw, uint64(n.Set.Index))
+			return nil
+		}
+		if err := bw.WriteByte(tagInternal); err != nil {
+			return err
+		}
+		writeUvarint(bw, uint64(n.Entity))
+		if err := emit(n.Yes); err != nil {
+			return err
+		}
+		return emit(n.No)
+	}
+	if err := emit(t.Root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+// ReadBinary parses a tree written by WriteBinary and binds its leaves to
+// the sets of c. The result is validated against the full collection: a
+// tree saved for a different collection (or corrupted) is rejected rather
+// than silently mis-answering.
+func ReadBinary(r io.Reader, c *dataset.Collection) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tree: reading magic: %w", err)
+	}
+	if string(magic) != treeMagic {
+		return nil, fmt.Errorf("tree: bad magic %q", magic)
+	}
+	leaves, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if leaves == 0 || leaves > uint64(c.Len()) {
+		return nil, fmt.Errorf("tree: leaf count %d outside collection of %d sets", leaves, c.Len())
+	}
+	var parse func(depth int) (*Node, error)
+	parse = func(depth int) (*Node, error) {
+		if depth > int(leaves) {
+			return nil, fmt.Errorf("tree: structure deeper than %d — corrupt stream", leaves)
+		}
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLeaf:
+			idx, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(c.Len()) {
+				return nil, fmt.Errorf("tree: leaf references set %d of %d", idx, c.Len())
+			}
+			return &Node{Set: c.Set(int(idx))}, nil
+		case tagInternal:
+			e, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if e > uint64(^uint32(0)) {
+				return nil, fmt.Errorf("tree: entity %d overflows", e)
+			}
+			yes, err := parse(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			no, err := parse(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			return &Node{Entity: dataset.Entity(e), Yes: yes, No: no}, nil
+		default:
+			return nil, fmt.Errorf("tree: unknown node tag 0x%02x", tag)
+		}
+	}
+	root, err := parse(0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Root: root, Leaves: int(leaves)}
+	if int(leaves) == c.Len() {
+		if err := t.Validate(c.All()); err != nil {
+			return nil, fmt.Errorf("tree: loaded tree inconsistent with collection: %w", err)
+		}
+	} else if err := t.validatePartial(c); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validatePartial checks a tree over a strict subset of the collection
+// (trees may be built for sub-collections): leaves distinct, structure full
+// binary, and every internal node consistent with the leaves below it.
+func (t *Tree) validatePartial(c *dataset.Collection) error {
+	members := make([]uint32, 0, t.Leaves)
+	var collect func(n *Node) error
+	collect = func(n *Node) error {
+		if n.Leaf() {
+			members = append(members, uint32(n.Set.Index))
+			return nil
+		}
+		if n.Yes == nil || n.No == nil {
+			return fmt.Errorf("tree: internal node missing a child")
+		}
+		if err := collect(n.Yes); err != nil {
+			return err
+		}
+		return collect(n.No)
+	}
+	if err := collect(t.Root); err != nil {
+		return err
+	}
+	sub := c.SubsetOf(members)
+	if sub.Size() != t.Leaves || len(members) != t.Leaves {
+		return fmt.Errorf("tree: %d leaves but %d distinct sets", len(members), sub.Size())
+	}
+	return t.Validate(sub)
+}

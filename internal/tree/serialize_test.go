@@ -1,0 +1,126 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/testutil"
+)
+
+func TestTreeBinaryRoundTrip(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.NewKLP(cost.AD, 3))
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Leaves != tr.Leaves || back.Height() != tr.Height() ||
+		back.SumDepths() != tr.SumDepths() {
+		t.Errorf("round trip changed costs: H %d vs %d, sum %d vs %d",
+			back.Height(), tr.Height(), back.SumDepths(), tr.SumDepths())
+	}
+	for _, s := range c.Sets() {
+		leaf, q := back.Follow(s)
+		if leaf != s || q != tr.Depth(s.Index) {
+			t.Errorf("%s: follow after reload diverged", s.Name)
+		}
+	}
+}
+
+func TestTreeBinaryRoundTripSubcollection(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.SubsetOf([]uint32{0, 2, 3, 5})
+	tr, err := Build(sub, strategy.MostEven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Leaves != 4 {
+		t.Errorf("Leaves = %d", back.Leaves)
+	}
+}
+
+func TestTreeReadBinaryRejectsBadMagic(t *testing.T) {
+	c := testutil.PaperCollection()
+	if _, err := ReadBinary(strings.NewReader("XXXX...."), c); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTreeReadBinaryRejectsTruncation(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{2, 5, 8, len(full) / 2, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut]), c); err == nil {
+			t.Errorf("accepted truncation at %d of %d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestTreeReadBinaryRejectsWrongCollection(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A different collection with the same size but different contents.
+	other := testutil.RandomCollection(rng.New(5), 7, 12)
+	if other.Len() == c.Len() {
+		if _, err := ReadBinary(bytes.NewReader(buf.Bytes()), other); err == nil {
+			t.Fatal("tree accepted against a mismatching collection")
+		}
+	}
+}
+
+func TestTreeReadBinaryRejectsCorruptTag(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] = 0x7F // somewhere inside the node stream
+	if _, err := ReadBinary(bytes.NewReader(raw), c); err == nil {
+		t.Fatal("corrupt tag accepted")
+	}
+}
+
+func TestTreeRoundTripRandom(t *testing.T) {
+	r := rng.New(31415)
+	for trial := 0; trial < 20; trial++ {
+		c := testutil.RandomCollection(r, 2+r.Intn(20), 2+r.Intn(10))
+		tr, err := Build(c.All(), strategy.NewKLP(cost.H, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinary(&buf, c)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := back.Validate(c.All()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

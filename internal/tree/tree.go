@@ -1,0 +1,267 @@
+// Package tree implements decision trees over collections of sets: offline
+// construction (Algorithm 3), cost evaluation under the AD and H metrics,
+// structural validation of the §3 invariants, and rendering.
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
+)
+
+// Node is a decision-tree node. Internal nodes carry the membership question
+// "is Entity in the target set?"; Yes is taken when the answer is yes. A
+// leaf carries the discovered Set and has no children.
+type Node struct {
+	Entity  dataset.Entity
+	Set     *dataset.Set
+	Yes, No *Node
+}
+
+// Leaf reports whether n is a leaf.
+func (n *Node) Leaf() bool { return n.Set != nil }
+
+// Tree is a full binary decision tree whose leaves are the member sets of
+// the sub-collection it was built from.
+type Tree struct {
+	Root   *Node
+	Leaves int // number of leaves (= sets represented)
+}
+
+// Build runs Algorithm 3: construct a decision tree for the sub-collection
+// sub using entity-selection strategy sel. It fails if the strategy cannot
+// propose an entity for a sub-collection of ≥ 2 sets (which cannot happen
+// for collections of unique sets) or if a proposed entity does not split
+// the sub-collection.
+func Build(sub *dataset.Subset, sel strategy.Strategy) (*Tree, error) {
+	if sub.Size() == 0 {
+		return nil, fmt.Errorf("tree: cannot build over an empty sub-collection")
+	}
+	root, err := build(sub, sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{Root: root, Leaves: sub.Size()}, nil
+}
+
+func build(sub *dataset.Subset, sel strategy.Strategy) (*Node, error) {
+	// Lines 1–3: a singleton collection is a leaf.
+	if sub.Size() == 1 {
+		return &Node{Set: sub.Single()}, nil
+	}
+	// Line 5: pick the question.
+	e, ok := sel.Select(sub)
+	if !ok {
+		return nil, fmt.Errorf("tree: strategy %s found no informative entity for %d sets",
+			sel.Name(), sub.Size())
+	}
+	// Lines 6–7: split.
+	with, without := sub.Partition(e)
+	if with.Size() == 0 || without.Size() == 0 {
+		return nil, fmt.Errorf("tree: strategy %s proposed non-splitting entity %d",
+			sel.Name(), e)
+	}
+	// Lines 8–10: recurse.
+	yes, err := build(with, sel)
+	if err != nil {
+		return nil, err
+	}
+	no, err := build(without, sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Entity: e, Yes: yes, No: no}, nil
+}
+
+// Height returns the depth of the deepest leaf — the worst-case number of
+// questions (metric H). A single-leaf tree has height 0.
+func (t *Tree) Height() int {
+	return height(t.Root)
+}
+
+func height(n *Node) int {
+	if n.Leaf() {
+		return 0
+	}
+	hy, hn := height(n.Yes), height(n.No)
+	if hy > hn {
+		return hy + 1
+	}
+	return hn + 1
+}
+
+// SumDepths returns the total depth over all leaves (the scaled AD cost).
+func (t *Tree) SumDepths() int64 {
+	return sumDepths(t.Root, 0)
+}
+
+func sumDepths(n *Node, depth int64) int64 {
+	if n.Leaf() {
+		return depth
+	}
+	return sumDepths(n.Yes, depth+1) + sumDepths(n.No, depth+1)
+}
+
+// AvgDepth returns the average leaf depth — the expected number of
+// questions when targets are uniform (metric AD, Definition 3.2).
+func (t *Tree) AvgDepth() float64 {
+	return float64(t.SumDepths()) / float64(t.Leaves)
+}
+
+// Cost returns the tree's cost under metric m in paper units.
+func (t *Tree) Cost(m cost.Metric) float64 {
+	if m == cost.AD {
+		return t.AvgDepth()
+	}
+	return float64(t.Height())
+}
+
+// ScaledCost returns the tree's cost as a scaled cost.Value (sum of depths
+// for AD, height for H), comparable against the package cost lower bounds.
+func (t *Tree) ScaledCost(m cost.Metric) cost.Value {
+	if m == cost.AD {
+		return t.SumDepths()
+	}
+	return cost.Value(t.Height())
+}
+
+// InternalNodes counts the internal (question) nodes; a full binary tree
+// over n leaves has exactly n−1.
+func (t *Tree) InternalNodes() int {
+	return countInternal(t.Root)
+}
+
+func countInternal(n *Node) int {
+	if n.Leaf() {
+		return 0
+	}
+	return 1 + countInternal(n.Yes) + countInternal(n.No)
+}
+
+// Depth returns the depth of the leaf holding the set with the given index,
+// or -1 when the set is not in the tree.
+func (t *Tree) Depth(setIndex int) int {
+	return depthOf(t.Root, setIndex, 0)
+}
+
+func depthOf(n *Node, setIndex, d int) int {
+	if n.Leaf() {
+		if n.Set.Index == setIndex {
+			return d
+		}
+		return -1
+	}
+	if v := depthOf(n.Yes, setIndex, d+1); v >= 0 {
+		return v
+	}
+	return depthOf(n.No, setIndex, d+1)
+}
+
+// Follow walks the tree answering each question with the membership of the
+// question entity in target, returning the leaf reached and the number of
+// questions asked. For a target that labels some leaf, the walk provably
+// ends at that leaf (Validate checks this invariant).
+func (t *Tree) Follow(target *dataset.Set) (*dataset.Set, int) {
+	n := t.Root
+	questions := 0
+	for !n.Leaf() {
+		questions++
+		if target.Contains(n.Entity) {
+			n = n.Yes
+		} else {
+			n = n.No
+		}
+	}
+	return n.Set, questions
+}
+
+// Validate checks the §3 invariants of the tree against the sub-collection
+// it was built from: the tree is full binary; its leaves are exactly the
+// member sets, each appearing once; every internal node's entity genuinely
+// splits the sets below it; and each branch holds exactly the sets
+// consistent with its answer.
+func (t *Tree) Validate(sub *dataset.Subset) error {
+	if err := validate(t.Root, sub); err != nil {
+		return err
+	}
+	if t.Leaves != sub.Size() {
+		return fmt.Errorf("tree: Leaves = %d but sub-collection has %d sets",
+			t.Leaves, sub.Size())
+	}
+	if internal := t.InternalNodes(); internal != t.Leaves-1 {
+		return fmt.Errorf("tree: %d internal nodes for %d leaves; full binary tree requires %d",
+			internal, t.Leaves, t.Leaves-1)
+	}
+	return nil
+}
+
+func validate(n *Node, sub *dataset.Subset) error {
+	if n.Leaf() {
+		if sub.Size() != 1 {
+			return fmt.Errorf("tree: leaf %q reached with %d candidate sets", n.Set.Name, sub.Size())
+		}
+		if only := sub.Single(); only != n.Set {
+			return fmt.Errorf("tree: leaf holds %q but candidates resolve to %q", n.Set.Name, only.Name)
+		}
+		return nil
+	}
+	if n.Yes == nil || n.No == nil {
+		return fmt.Errorf("tree: internal node on entity %d lacks a child", n.Entity)
+	}
+	with, without := sub.Partition(n.Entity)
+	if with.Size() == 0 || without.Size() == 0 {
+		return fmt.Errorf("tree: entity %d does not split %d sets", n.Entity, sub.Size())
+	}
+	if err := validate(n.Yes, with); err != nil {
+		return err
+	}
+	return validate(n.No, without)
+}
+
+// WriteDOT renders the tree in Graphviz DOT form; c supplies entity names.
+func (t *Tree) WriteDOT(w io.Writer, c *dataset.Collection) error {
+	var b strings.Builder
+	b.WriteString("digraph decisiontree {\n  node [shape=box];\n")
+	id := 0
+	var emit func(n *Node) int
+	emit = func(n *Node) int {
+		my := id
+		id++
+		if n.Leaf() {
+			fmt.Fprintf(&b, "  n%d [label=%q, shape=ellipse];\n", my, n.Set.Name)
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", my, c.EntityName(n.Entity)+"?")
+		y := emit(n.Yes)
+		nn := emit(n.No)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"yes\"];\n", my, y)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"no\"];\n", my, nn)
+		return my
+	}
+	emit(t.Root)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render returns a compact indented text rendering, for examples and
+// debugging.
+func (t *Tree) Render(c *dataset.Collection) string {
+	var b strings.Builder
+	var walk func(n *Node, prefix, branch string)
+	walk = func(n *Node, prefix, branch string) {
+		if n.Leaf() {
+			fmt.Fprintf(&b, "%s%s[%s]\n", prefix, branch, n.Set.Name)
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s?\n", prefix, branch, c.EntityName(n.Entity))
+		walk(n.Yes, prefix+"  ", "y: ")
+		walk(n.No, prefix+"  ", "n: ")
+	}
+	walk(t.Root, "", "")
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/testutil"
+)
+
+func buildPaperTree(t *testing.T, sel strategy.Strategy) (*dataset.Collection, *Tree) {
+	t.Helper()
+	c := testutil.PaperCollection()
+	tr, err := Build(c.All(), sel)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c, tr
+}
+
+func TestBuildPaperTreeKLP(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.NewKLP(cost.AD, 3))
+	if tr.Leaves != 7 {
+		t.Fatalf("Leaves = %d, want 7", tr.Leaves)
+	}
+	if err := tr.Validate(c.All()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Fig 2a is optimal with AD = 20/7 ≈ 2.857; k=3 ≥ optimal height must
+	// reach it (§4.4.1).
+	if got := tr.AvgDepth(); got != 20.0/7 {
+		t.Errorf("AvgDepth = %f, want %f", got, 20.0/7)
+	}
+	if got := tr.Height(); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+}
+
+func TestBuildPaperTreeGreedy(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	if err := tr.Validate(c.All()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.InternalNodes() != 6 {
+		t.Errorf("InternalNodes = %d, want 6", tr.InternalNodes())
+	}
+}
+
+func TestBuildSingleton(t *testing.T) {
+	c := testutil.PaperCollection()
+	tr, err := Build(c.SubsetOf([]uint32{4}), strategy.MostEven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.Leaf() || tr.Root.Set.Name != "S5" {
+		t.Errorf("singleton tree root = %+v", tr.Root)
+	}
+	if tr.Height() != 0 || tr.AvgDepth() != 0 {
+		t.Errorf("singleton tree cost: H=%d AD=%f", tr.Height(), tr.AvgDepth())
+	}
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	c := testutil.PaperCollection()
+	if _, err := Build(c.SubsetOf(nil), strategy.MostEven{}); err == nil {
+		t.Fatal("Build on empty sub-collection succeeded")
+	}
+}
+
+func TestFollowReachesEverySet(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.NewKLP(cost.AD, 2))
+	for _, s := range c.Sets() {
+		got, questions := tr.Follow(s)
+		if got != s {
+			t.Errorf("Follow(%s) reached %s", s.Name, got.Name)
+		}
+		if want := tr.Depth(s.Index); questions != want {
+			t.Errorf("Follow(%s) asked %d questions, Depth says %d", s.Name, questions, want)
+		}
+	}
+}
+
+func TestDepthOfAbsentSet(t *testing.T) {
+	c := testutil.PaperCollection()
+	sub := c.SubsetOf([]uint32{0, 1, 2})
+	tr, err := Build(sub, strategy.MostEven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Depth(6); got != -1 {
+		t.Errorf("Depth(absent) = %d, want -1", got)
+	}
+}
+
+func TestSumDepthsMatchesAvg(t *testing.T) {
+	_, tr := buildPaperTree(t, strategy.MostEven{})
+	if float64(tr.SumDepths())/float64(tr.Leaves) != tr.AvgDepth() {
+		t.Error("SumDepths and AvgDepth disagree")
+	}
+	if tr.ScaledCost(cost.AD) != tr.SumDepths() {
+		t.Error("ScaledCost(AD) != SumDepths")
+	}
+	if int(tr.ScaledCost(cost.H)) != tr.Height() {
+		t.Error("ScaledCost(H) != Height")
+	}
+	if tr.Cost(cost.AD) != tr.AvgDepth() || tr.Cost(cost.H) != float64(tr.Height()) {
+		t.Error("Cost() disagrees with AvgDepth/Height")
+	}
+}
+
+func TestValidateCatchesWrongLeaf(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	// Corrupt the tree: swap two leaves.
+	var leaves []*Node
+	var collect func(n *Node)
+	collect = func(n *Node) {
+		if n.Leaf() {
+			leaves = append(leaves, n)
+			return
+		}
+		collect(n.Yes)
+		collect(n.No)
+	}
+	collect(tr.Root)
+	leaves[0].Set, leaves[1].Set = leaves[1].Set, leaves[0].Set
+	if err := tr.Validate(c.All()); err == nil {
+		t.Fatal("Validate accepted a corrupted tree")
+	}
+}
+
+func TestValidateCatchesMissingChild(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	var cut func(n *Node) bool
+	cut = func(n *Node) bool {
+		if n.Leaf() {
+			return false
+		}
+		if n.Yes.Leaf() {
+			n.Yes = nil
+			return true
+		}
+		return cut(n.Yes) || cut(n.No)
+	}
+	if !cut(tr.Root) {
+		t.Fatal("could not corrupt tree")
+	}
+	if err := tr.Validate(c.All()); err == nil {
+		t.Fatal("Validate accepted a tree with a missing child")
+	}
+}
+
+func TestValidateCatchesWrongPopulation(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	if err := tr.Validate(c.SubsetOf([]uint32{0, 1, 2})); err == nil {
+		t.Fatal("Validate accepted a tree against the wrong sub-collection")
+	}
+}
+
+func TestTreeCostAtLeastLB0(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 50; trial++ {
+		c := testutil.RandomCollection(r, 2+r.Intn(20), 2+r.Intn(10))
+		sub := c.All()
+		if sub.Size() < 2 {
+			continue
+		}
+		for _, sel := range []strategy.Strategy{
+			strategy.MostEven{}, strategy.NewKLP(cost.AD, 2), strategy.NewKLP(cost.H, 2),
+		} {
+			tr, err := Build(sub, sel)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := tr.Validate(sub); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, sel.Name(), err)
+			}
+			if tr.SumDepths() < cost.LB0(cost.AD, sub.Size()) {
+				t.Errorf("trial %d %s: AD below LB0", trial, sel.Name())
+			}
+			if int64(tr.Height()) < cost.LB0(cost.H, sub.Size()) {
+				t.Errorf("trial %d %s: H below LB0", trial, sel.Name())
+			}
+		}
+	}
+}
+
+// Property: tree built on random sub-collections validates and Follow
+// reaches every member with depth-many questions.
+func TestQuickBuildFollowRoundTrip(t *testing.T) {
+	r := rng.New(909)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		c := testutil.RandomCollection(rr, 2+rr.Intn(15), 2+rr.Intn(9))
+		sub := c.All()
+		tr, err := Build(sub, strategy.NewKLP(cost.AD, 2))
+		if err != nil {
+			return false
+		}
+		if tr.Validate(sub) != nil {
+			return false
+		}
+		ok := true
+		sub.ForEachMember(func(s *dataset.Set) bool {
+			leaf, q := tr.Follow(s)
+			if leaf != s || q != tr.Depth(s.Index) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderContainsAllSets(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	out := tr.Render(c)
+	for _, s := range c.Sets() {
+		if !strings.Contains(out, s.Name) {
+			t.Errorf("Render missing %s:\n%s", s.Name, out)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	c, tr := buildPaperTree(t, strategy.MostEven{})
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "yes") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+	for _, s := range c.Sets() {
+		if !strings.Contains(out, s.Name) {
+			t.Errorf("DOT missing %s", s.Name)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package webtables simulates the §5.2.1 web-tables workload: a corpus of
+// entity sets extracted from web-table columns, and the 2-entity seed
+// queries whose superset sub-collections drive the quality, pruning and
+// timing experiments.
+//
+// The original corpus (a 2014 Wikipedia snapshot: 1.4M column sets, 6.3M
+// distinct entities) is not redistributable, so Generate draws a
+// domain-clustered synthetic corpus instead: Zipf-sized semantic domains
+// ("NBA players", "cities", ...), each set sampling most of its members
+// from one domain — popular members more often — plus cross-domain noise.
+// This reproduces the two properties the algorithms actually see: seed
+// pairs select overlapping sub-collections of widely varying size, and
+// entity frequencies inside a sub-collection are long-tailed.
+package webtables
+
+import (
+	"fmt"
+	"sort"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/setops"
+)
+
+// Params configures the corpus generator.
+type Params struct {
+	NumSets    int // corpus size (paper: 1,407,178)
+	NumDomains int // semantic domains
+	// Domain pool sizes are Zipf distributed over [DomainMin, DomainMax].
+	DomainMin, DomainMax int
+	// Set sizes are uniform over [SetMin, SetMax] (paper removes sets with
+	// fewer than 3 distinct elements, so SetMin ≥ 3).
+	SetMin, SetMax int
+	// NoiseRate is the fraction of a set's members drawn from foreign
+	// domains (web-table columns are noisy, §5.2.1).
+	NoiseRate float64
+	Seed      uint64
+}
+
+// DefaultParams returns a laptop-sized corpus that preserves the paper's
+// sub-collection shape: seed queries select between 100 and a few thousand
+// candidate sets.
+func DefaultParams() Params {
+	return Params{
+		NumSets:    40000,
+		NumDomains: 120,
+		DomainMin:  40,
+		DomainMax:  4000,
+		SetMin:     3,
+		SetMax:     120,
+		NoiseRate:  0.05,
+		Seed:       0x77EB,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.NumSets < 1:
+		return fmt.Errorf("webtables: NumSets = %d", p.NumSets)
+	case p.NumDomains < 1:
+		return fmt.Errorf("webtables: NumDomains = %d", p.NumDomains)
+	case p.DomainMin < 1 || p.DomainMax < p.DomainMin:
+		return fmt.Errorf("webtables: bad domain size range [%d, %d]", p.DomainMin, p.DomainMax)
+	case p.SetMin < 3 || p.SetMax < p.SetMin:
+		return fmt.Errorf("webtables: bad set size range [%d, %d] (paper keeps sets of ≥3)", p.SetMin, p.SetMax)
+	case p.NoiseRate < 0 || p.NoiseRate >= 1:
+		return fmt.Errorf("webtables: NoiseRate = %f", p.NoiseRate)
+	}
+	return nil
+}
+
+// Generate draws the corpus. Duplicate sets are dropped, mirroring the
+// paper's cleaning, so the result may hold slightly fewer than NumSets sets.
+func Generate(p Params) (*dataset.Collection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed)
+
+	// Carve the entity universe into domain pools with Zipf-ish sizes.
+	domainOf := make([][]dataset.Entity, p.NumDomains)
+	next := uint32(0)
+	sizeZipf := rng.NewZipf(r.Split(), p.DomainMax-p.DomainMin+1, 1.05)
+	for d := range domainOf {
+		size := p.DomainMin + sizeZipf.Draw()
+		pool := make([]dataset.Entity, size)
+		for i := range pool {
+			pool[i] = next
+			next++
+		}
+		domainOf[d] = pool
+	}
+	numEntities := int(next)
+
+	// Popularity skew: within a domain, members are drawn Zipf-weighted so
+	// that a domain's "head" entities co-occur across many sets — those are
+	// the natural 2-entity seed queries.
+	domainPick := rng.NewZipf(r.Split(), p.NumDomains, 0.9)
+
+	names := make([]string, 0, p.NumSets)
+	elems := make([][]dataset.Entity, 0, p.NumSets)
+	for i := 0; i < p.NumSets; i++ {
+		d := domainPick.Draw()
+		pool := domainOf[d]
+		size := r.IntRange(p.SetMin, p.SetMax)
+		if size > len(pool) {
+			size = len(pool)
+		}
+		noise := int(p.NoiseRate * float64(size))
+		own := size - noise
+		set := make([]dataset.Entity, 0, size)
+		// Zipf-weighted sample without replacement from the domain pool:
+		// draw with replacement and dedup, then top up uniformly.
+		zipf := rng.NewZipf(r.Split(), len(pool), 0.8)
+		seen := make(map[dataset.Entity]bool, own)
+		for tries := 0; len(set) < own && tries < 6*own; tries++ {
+			e := pool[zipf.Draw()]
+			if !seen[e] {
+				seen[e] = true
+				set = append(set, e)
+			}
+		}
+		for len(set) < own {
+			e := pool[r.Intn(len(pool))]
+			if !seen[e] {
+				seen[e] = true
+				set = append(set, e)
+			}
+		}
+		for len(set) < size {
+			e := dataset.Entity(r.Intn(numEntities))
+			if !seen[e] {
+				seen[e] = true
+				set = append(set, e)
+			}
+		}
+		names = append(names, fmt.Sprintf("tbl%06d-col%d", i, d))
+		elems = append(elems, set)
+	}
+	return dataset.FromIDSets(names, elems, numEntities, true)
+}
+
+// SeedQuery is a 2-entity initial example set and the size of the
+// sub-collection it selects.
+type SeedQuery struct {
+	A, B dataset.Entity
+	Size int // number of sets containing both entities
+}
+
+// SeedQueries finds up to maxQueries entity pairs co-occurring in at least
+// minSets sets (the paper keeps sub-collections of ≥100 sets). Pairs are
+// mined from the posting lists of frequent entities, deterministically.
+func SeedQueries(c *dataset.Collection, minSets, maxQueries int, seed uint64) []SeedQuery {
+	r := rng.New(seed)
+	// Frequent entities only: a pair can only reach minSets co-occurrences
+	// if both entities appear in ≥ minSets sets.
+	var frequent []dataset.Entity
+	for e := 0; e < c.NumEntities(); e++ {
+		if len(c.Postings(dataset.Entity(e))) >= minSets {
+			frequent = append(frequent, dataset.Entity(e))
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		return len(c.Postings(frequent[i])) > len(c.Postings(frequent[j]))
+	})
+	if len(frequent) > 4000 {
+		frequent = frequent[:4000]
+	}
+	// Mine a surplus of qualifying pairs, then pick a stratified spread of
+	// sub-collection sizes: the paper's 14,491 sub-collections range from
+	// 100 to 11,219 sets but average 390, so small sub-collections must
+	// dominate while a few large ones remain.
+	seen := make(map[[2]dataset.Entity]bool)
+	var mined []SeedQuery
+	record := func(a, b dataset.Entity) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]dataset.Entity{a, b}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if n := setops.IntersectCount(c.Postings(a), c.Postings(b)); n >= minSets {
+			mined = append(mined, SeedQuery{A: a, B: b, Size: n})
+		}
+	}
+	// Systematic pass over the most frequent head. The full grid is mined
+	// (not cut at a budget) because the head×head pairs with the largest
+	// co-occurrence come first and would otherwise crowd out the small
+	// sub-collections the stratified pick needs.
+	head := len(frequent)
+	if head > 160 {
+		head = 160
+	}
+	for i := 0; i < head; i++ {
+		for j := i + 1; j < head; j++ {
+			record(frequent[i], frequent[j])
+		}
+	}
+	// Randomised probing over the full frequent list picks up tail pairs;
+	// deterministic via r.
+	for probe := 0; probe < 200*maxQueries && len(frequent) >= 2; probe++ {
+		record(frequent[r.Intn(len(frequent))], frequent[r.Intn(len(frequent))])
+	}
+	sort.Slice(mined, func(i, j int) bool {
+		if mined[i].Size != mined[j].Size {
+			return mined[i].Size < mined[j].Size
+		}
+		if mined[i].A != mined[j].A {
+			return mined[i].A < mined[j].A
+		}
+		return mined[i].B < mined[j].B
+	})
+	if len(mined) <= maxQueries {
+		return mined
+	}
+	// Stratified pick, biased towards the small end (quadratic ramp):
+	// index i of the output takes the mined pair at rank (i/m)^2 · len.
+	out := make([]SeedQuery, 0, maxQueries)
+	prev := -1
+	for i := 0; i < maxQueries; i++ {
+		f := float64(i) / float64(maxQueries-1)
+		idx := int(f * f * float64(len(mined)-1))
+		if idx == prev {
+			idx = prev + 1
+		}
+		if idx >= len(mined) {
+			break
+		}
+		out = append(out, mined[idx])
+		prev = idx
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package webtables
+
+import (
+	"testing"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/setops"
+)
+
+// smallParams keeps unit tests fast while preserving the corpus shape.
+func smallParams() Params {
+	return Params{
+		NumSets:    3000,
+		NumDomains: 30,
+		DomainMin:  20,
+		DomainMax:  400,
+		SetMin:     3,
+		SetMax:     40,
+		NoiseRate:  0.05,
+		Seed:       11,
+	}
+}
+
+var smallCorpus = func() *dataset.Collection {
+	c, err := Generate(smallParams())
+	if err != nil {
+		panic(err)
+	}
+	return c
+}()
+
+func TestGenerateShape(t *testing.T) {
+	c := smallCorpus
+	if c.Len() < 2500 {
+		t.Fatalf("corpus lost too many duplicates: %d sets", c.Len())
+	}
+	st := c.Stats()
+	if st.MinSize < 3 {
+		t.Errorf("set of size %d survived (paper removes <3)", st.MinSize)
+	}
+	if st.MaxSize > 40 {
+		t.Errorf("set of size %d exceeds SetMax", st.MaxSize)
+	}
+	if st.DistinctEntities < 1000 {
+		t.Errorf("only %d distinct entities", st.DistinctEntities)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != smallCorpus.Len() {
+		t.Fatal("same seed, different corpus size")
+	}
+	for i := 0; i < a.Len(); i += 97 {
+		if !setops.Equal(a.Set(i).Elems, smallCorpus.Set(i).Elems) {
+			t.Fatalf("set %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := smallParams()
+	bad.SetMin = 2 // paper keeps only sets with ≥3 distinct elements
+	if _, err := Generate(bad); err == nil {
+		t.Error("SetMin=2 accepted")
+	}
+	bad = smallParams()
+	bad.NoiseRate = 1.0
+	if _, err := Generate(bad); err == nil {
+		t.Error("NoiseRate=1 accepted")
+	}
+	bad = smallParams()
+	bad.NumDomains = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("NumDomains=0 accepted")
+	}
+}
+
+func TestSeedQueriesSelectLargeSubcollections(t *testing.T) {
+	c := smallCorpus
+	const minSets = 30
+	seeds := SeedQueries(c, minSets, 25, 5)
+	if len(seeds) == 0 {
+		t.Fatal("no seed queries found; corpus lacks co-occurring head entities")
+	}
+	for _, s := range seeds {
+		sub := c.SupersetsOf([]dataset.Entity{s.A, s.B})
+		if sub.Size() != s.Size {
+			t.Errorf("seed (%d,%d): reported %d sets, actual %d", s.A, s.B, s.Size, sub.Size())
+		}
+		if sub.Size() < minSets {
+			t.Errorf("seed (%d,%d) selects only %d sets", s.A, s.B, sub.Size())
+		}
+	}
+}
+
+func TestSeedQueriesDeterministic(t *testing.T) {
+	a := SeedQueries(smallCorpus, 30, 10, 5)
+	b := SeedQueries(smallCorpus, 30, 10, 5)
+	if len(a) != len(b) {
+		t.Fatal("seed mining not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSubcollectionsOverlapHeavily(t *testing.T) {
+	// The whole point of the workload: within a seed sub-collection the
+	// member sets overlap a lot (same domain), so each question can
+	// eliminate many sets. Verify that informative entities exist that
+	// split off a sizable fraction.
+	seeds := SeedQueries(smallCorpus, 30, 5, 5)
+	if len(seeds) == 0 {
+		t.Skip("no seeds in small corpus")
+	}
+	sub := smallCorpus.SupersetsOf([]dataset.Entity{seeds[0].A, seeds[0].B})
+	infos := sub.InformativeEntities()
+	if len(infos) == 0 {
+		t.Fatal("no informative entities in seed sub-collection")
+	}
+	bestEven := sub.Size()
+	for _, ec := range infos {
+		if d := abs(2*ec.Count - sub.Size()); d < bestEven {
+			bestEven = d
+		}
+	}
+	// Some entity should split within 80% of perfectly even.
+	if bestEven > sub.Size()*4/5 {
+		t.Errorf("most even split deviation %d of %d: sub-collection barely overlaps",
+			bestEven, sub.Size())
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

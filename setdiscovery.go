@@ -1,0 +1,394 @@
+// Package setdiscovery implements interactive set discovery (Hasnat &
+// Rafiei, EDBT 2023): given a closed collection of sets and a few example
+// members of a desired target set, find the target with as few yes/no
+// membership questions as possible.
+//
+// The search builds (implicitly or explicitly) a binary decision tree whose
+// leaves are the candidate sets and whose internal nodes ask "is entity e in
+// your set?". Entity selection uses the paper's k-step lookahead lower
+// bounds with pruning (k-LP and its bounded variants k-LPLE/k-LPLVE), which
+// match or beat the classical information-gain heuristic while pruning the
+// lookahead search space by orders of magnitude.
+//
+// # Quick start
+//
+//	c, err := setdiscovery.NewCollection(map[string][]string{
+//	    "flu":     {"fever", "cough", "fatigue"},
+//	    "covid":   {"fever", "cough", "anosmia"},
+//	    "allergy": {"sneezing", "itchy eyes"},
+//	})
+//	...
+//	res, err := c.Discover([]string{"fever"}, oracle)     // ask the user
+//	tr, err := c.BuildTree(setdiscovery.WithStrategy("klp"), setdiscovery.WithK(3))
+//
+// The sub-packages under internal/ hold the full machinery: cost bounds,
+// strategies, tree construction, the discovery loop, dataset generators and
+// the experiment harness reproducing the paper's evaluation.
+package setdiscovery
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/tree"
+)
+
+// Metric selects what a decision tree optimises.
+type Metric = cost.Metric
+
+const (
+	// AverageDepth minimises the expected number of questions (paper
+	// metric AD).
+	AverageDepth Metric = cost.AD
+	// Height minimises the worst-case number of questions (paper metric H).
+	Height Metric = cost.H
+)
+
+// Collection is an immutable collection of uniquely-named, unique sets of
+// string entities — the closed search space of set discovery.
+type Collection struct {
+	c *dataset.Collection
+}
+
+// NewCollection builds a collection from named element lists. Set names
+// must be distinct map keys; duplicate sets (same elements under different
+// names) are rejected, matching the paper's uniqueness assumption. Iteration
+// order does not matter: sets are added in sorted-name order, so the same
+// input always produces the same collection.
+func NewCollection(sets map[string][]string) (*Collection, error) {
+	if len(sets) == 0 {
+		return nil, errors.New("setdiscovery: empty collection")
+	}
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b := dataset.NewBuilder()
+	for _, name := range names {
+		b.Add(name, sets[name])
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{c: c}, nil
+}
+
+// ReadCollection parses the tab-separated text format (one set per line:
+// name, then elements; '#' comments allowed). Duplicate sets are dropped.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	c, err := dataset.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{c: c}, nil
+}
+
+// Write writes the collection in the text format.
+func (c *Collection) Write(w io.Writer) error { return c.c.WriteText(w) }
+
+// Len returns the number of sets.
+func (c *Collection) Len() int { return c.c.Len() }
+
+// Names returns the set names in collection order.
+func (c *Collection) Names() []string {
+	out := make([]string, c.c.Len())
+	for i, s := range c.c.Sets() {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Elements returns the sorted elements of the named set, or nil if absent.
+func (c *Collection) Elements(name string) []string {
+	s := c.c.FindByName(name)
+	if s == nil {
+		return nil
+	}
+	out := make([]string, len(s.Elems))
+	for i, e := range s.Elems {
+		out[i] = c.c.EntityName(e)
+	}
+	return out
+}
+
+// Internal exposes the underlying dataset collection for advanced use with
+// the internal packages (benchmarks, experiment harness).
+func (c *Collection) Internal() *dataset.Collection { return c.c }
+
+// config collects option values.
+type config struct {
+	strategyName string
+	metric       Metric
+	k, q         int
+	maxQuestions int
+	batchSize    int
+	backtrack    bool
+	confirm      bool
+}
+
+func defaultConfig() config {
+	return config{strategyName: "klp", metric: AverageDepth, k: 2, q: 10}
+}
+
+// Option configures BuildTree and Discover.
+type Option func(*config)
+
+// WithStrategy selects the entity-selection strategy by name: "klp"
+// (default), "klple", "klplve", "infogain", "most-even", "indg", "lb1",
+// "gaink".
+func WithStrategy(name string) Option { return func(c *config) { c.strategyName = name } }
+
+// WithMetric selects the cost metric for the lookahead strategies
+// (default AverageDepth).
+func WithMetric(m Metric) Option { return func(c *config) { c.metric = m } }
+
+// WithK sets the lookahead depth (default 2).
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithQ bounds the candidate entities per lookahead step for k-LPLE /
+// k-LPLVE (default 10).
+func WithQ(q int) Option { return func(c *config) { c.q = q } }
+
+// WithMaxQuestions halts discovery after n questions (default unlimited).
+func WithMaxQuestions(n int) Option { return func(c *config) { c.maxQuestions = n } }
+
+// WithBatchSize asks several membership questions per interaction (§6
+// multiple-choice examples).
+func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
+
+// WithBacktracking enables recovery from wrong answers: the discovered set
+// is confirmed with the oracle and rejections revisit earlier answers (§6).
+func WithBacktracking() Option {
+	return func(c *config) { c.backtrack = true; c.confirm = true }
+}
+
+func (c config) build() (strategy.Strategy, error) {
+	return strategy.New(c.strategyName, c.metric, c.k, c.q)
+}
+
+// Tree is a constructed decision tree over a collection.
+type Tree struct {
+	t *tree.Tree
+	c *Collection
+}
+
+// BuildTree constructs a decision tree for the whole collection offline
+// (Algorithm 3), for static collections queried repeatedly.
+func (c *Collection) BuildTree(opts ...Option) (*Tree, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sel, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	t, err := tree.Build(c.c.All(), sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: t, c: c}, nil
+}
+
+// AvgDepth returns the expected number of questions under uniform targets.
+func (t *Tree) AvgDepth() float64 { return t.t.AvgDepth() }
+
+// Height returns the worst-case number of questions.
+func (t *Tree) Height() int { return t.t.Height() }
+
+// QuestionsFor returns how many questions the tree asks to reach the named
+// set, or -1 when the set is not in the collection.
+func (t *Tree) QuestionsFor(name string) int {
+	s := t.c.c.FindByName(name)
+	if s == nil {
+		return -1
+	}
+	return t.t.Depth(s.Index)
+}
+
+// Render returns an indented text rendering of the tree.
+func (t *Tree) Render() string { return t.t.Render(t.c.c) }
+
+// WriteDOT writes the tree in Graphviz DOT format.
+func (t *Tree) WriteDOT(w io.Writer) error { return t.t.WriteDOT(w, t.c.c) }
+
+// WriteBinary persists the tree so later sessions over the same collection
+// can skip construction (the paper's offline mode, §4.5).
+func (t *Tree) WriteBinary(w io.Writer) error { return t.t.WriteBinary(w) }
+
+// LoadTree reads a tree persisted with Tree.WriteBinary and re-validates it
+// against this collection.
+func (c *Collection) LoadTree(r io.Reader) (*Tree, error) {
+	t, err := tree.ReadBinary(r, c.c)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{t: t, c: c}, nil
+}
+
+// DiscoverWithTree runs discovery along a precomputed tree: each step only
+// follows one branch, so per-question latency is constant. "Don't know"
+// answers stop the walk with the remaining subtree as candidates.
+func (c *Collection) DiscoverWithTree(t *Tree, oracle Oracle) (*Result, error) {
+	res, err := discovery.FollowTree(c.c, t.t, oracleAdapter{c: c.c, o: oracle})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Candidates:    res.Candidates.Names(),
+		Questions:     res.Questions,
+		Interactions:  res.Interactions,
+		SelectionTime: res.SelectionTime,
+	}
+	if res.Target != nil {
+		out.Target = res.Target.Name
+	}
+	return out, nil
+}
+
+// Answer is a reply to a membership question.
+type Answer = discovery.Answer
+
+const (
+	// No: the entity is not in the target set.
+	No = discovery.No
+	// Yes: the entity is in the target set.
+	Yes = discovery.Yes
+	// Unknown: the user cannot tell; the entity is never asked again.
+	Unknown = discovery.Unknown
+)
+
+// Oracle answers membership questions about string entities.
+type Oracle interface {
+	Answer(entity string) Answer
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(entity string) Answer
+
+// Answer implements Oracle.
+func (f OracleFunc) Answer(entity string) Answer { return f(entity) }
+
+// TargetOracle returns an oracle that answers truthfully for the named set —
+// useful for simulations and tests. It fails when the set is unknown.
+func (c *Collection) TargetOracle(name string) (Oracle, error) {
+	s := c.c.FindByName(name)
+	if s == nil {
+		return nil, fmt.Errorf("setdiscovery: no set named %q", name)
+	}
+	return OracleFunc(func(entity string) Answer {
+		id, ok := c.c.Dict().Lookup(entity)
+		if !ok {
+			return No
+		}
+		if s.Contains(id) {
+			return Yes
+		}
+		return No
+	}), nil
+}
+
+// Result reports a discovery run.
+type Result struct {
+	// Target is the uniquely discovered set name, empty when discovery
+	// halted with several candidates.
+	Target string
+	// Candidates are the set names still consistent with all answers.
+	Candidates []string
+	// Questions is the number of membership questions answered.
+	Questions int
+	// Interactions counts user round-trips (differs from Questions when
+	// batching).
+	Interactions int
+	// Backtracks counts answer revisions during error recovery.
+	Backtracks int
+	// SelectionTime is the computation time spent choosing questions.
+	SelectionTime time.Duration
+}
+
+// ErrNoCandidates is returned when no set contains all initial examples.
+var ErrNoCandidates = discovery.ErrNoCandidates
+
+// ErrContradiction is returned when answers rule out every set and
+// backtracking is off or exhausted.
+var ErrContradiction = discovery.ErrContradiction
+
+// Discover runs the interactive loop (Algorithm 2): filter the collection
+// to supersets of the initial examples, then ask the oracle
+// strategy-selected membership questions until one candidate remains or a
+// halt condition fires. Unknown initial examples yield ErrNoCandidates
+// (no set can contain them).
+func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (*Result, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sel, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	init := make([]dataset.Entity, 0, len(initial))
+	for _, s := range initial {
+		id, ok := c.c.Dict().Lookup(s)
+		if !ok {
+			return nil, fmt.Errorf("%w: entity %q occurs in no set", ErrNoCandidates, s)
+		}
+		init = append(init, id)
+	}
+	wrapped := oracleAdapter{c: c.c, o: oracle}
+	res, err := discovery.Run(c.c, init, wrapped, discovery.Options{
+		Strategy:      sel,
+		MaxQuestions:  cfg.maxQuestions,
+		BatchSize:     cfg.batchSize,
+		Backtrack:     cfg.backtrack,
+		ConfirmTarget: cfg.confirm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Candidates:    res.Candidates.Names(),
+		Questions:     res.Questions,
+		Interactions:  res.Interactions,
+		Backtracks:    res.Backtracks,
+		SelectionTime: res.SelectionTime,
+	}
+	if res.Target != nil {
+		out.Target = res.Target.Name
+	}
+	return out, nil
+}
+
+// oracleAdapter bridges string oracles to entity-ID oracles, forwarding the
+// optional confirmation capability.
+type oracleAdapter struct {
+	c *dataset.Collection
+	o Oracle
+}
+
+func (a oracleAdapter) Answer(e dataset.Entity) discovery.Answer {
+	return a.o.Answer(a.c.EntityName(e))
+}
+
+// Confirmer mirrors discovery.Confirmer for string oracles.
+type Confirmer interface {
+	Confirm(setName string) bool
+}
+
+// Confirm implements discovery.Confirmer when the wrapped oracle supports
+// confirmation; otherwise every set is accepted.
+func (a oracleAdapter) Confirm(s *dataset.Set) bool {
+	if c, ok := a.o.(Confirmer); ok {
+		return c.Confirm(s.Name)
+	}
+	return true
+}

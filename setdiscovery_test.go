@@ -1,0 +1,338 @@
+package setdiscovery
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperSets is the Fig. 1 running example.
+func paperSets() map[string][]string {
+	return map[string][]string{
+		"S1": {"a", "b", "c", "d"},
+		"S2": {"a", "d", "e"},
+		"S3": {"a", "b", "c", "d", "f"},
+		"S4": {"a", "b", "c", "g", "h"},
+		"S5": {"a", "b", "h", "i"},
+		"S6": {"a", "b", "j", "k"},
+		"S7": {"a", "b", "g"},
+	}
+}
+
+func paperCollection(t *testing.T) *Collection {
+	t.Helper()
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCollection(t *testing.T) {
+	c := paperCollection(t)
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	names := c.Names()
+	if names[0] != "S1" || names[6] != "S7" {
+		t.Errorf("Names = %v (sorted insert expected)", names)
+	}
+	elems := c.Elements("S2")
+	if len(elems) != 3 {
+		t.Errorf("Elements(S2) = %v", elems)
+	}
+	if c.Elements("nope") != nil {
+		t.Error("Elements of unknown set non-nil")
+	}
+}
+
+func TestNewCollectionErrors(t *testing.T) {
+	if _, err := NewCollection(nil); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := NewCollection(map[string][]string{"A": {"x"}, "B": {"x"}}); err == nil {
+		t.Error("duplicate sets accepted")
+	}
+	if _, err := NewCollection(map[string][]string{"A": {}}); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestCollectionDeterministicAcrossMapOrder(t *testing.T) {
+	// Maps iterate randomly; NewCollection must still be deterministic.
+	a := paperCollection(t)
+	b := paperCollection(t)
+	ta, err := a.BuildTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.BuildTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Render() != tb.Render() {
+		t.Error("same input maps produced different trees")
+	}
+}
+
+func TestBuildTreeDefault(t *testing.T) {
+	c := paperCollection(t)
+	tr, err := c.BuildTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 || tr.AvgDepth() < 2.857-1e-9 {
+		t.Errorf("tree below information-theoretic bounds: H=%d AD=%f", tr.Height(), tr.AvgDepth())
+	}
+	if q := tr.QuestionsFor("S2"); q < 1 || q > tr.Height() {
+		t.Errorf("QuestionsFor(S2) = %d", q)
+	}
+	if tr.QuestionsFor("nope") != -1 {
+		t.Error("QuestionsFor unknown set != -1")
+	}
+}
+
+func TestBuildTreeOptimalWithLargeK(t *testing.T) {
+	c := paperCollection(t)
+	tr, err := c.BuildTree(WithStrategy("klp"), WithK(3), WithMetric(AverageDepth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.AvgDepth(); got != 20.0/7 {
+		t.Errorf("AvgDepth = %f, want 2.857 (Fig 2a optimum)", got)
+	}
+}
+
+func TestBuildTreeStrategies(t *testing.T) {
+	c := paperCollection(t)
+	for _, name := range []string{"infogain", "most-even", "indg", "lb1", "klple", "klplve", "gaink"} {
+		tr, err := c.BuildTree(WithStrategy(name), WithK(2), WithQ(5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Height() < 3 {
+			t.Errorf("%s: height %d below ⌈log2 7⌉", name, tr.Height())
+		}
+	}
+	if _, err := c.BuildTree(WithStrategy("bogus")); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestDiscoverFindsTarget(t *testing.T) {
+	c := paperCollection(t)
+	for _, target := range c.Names() {
+		oracle, err := c.TargetOracle(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Discover(nil, oracle)
+		if err != nil {
+			t.Fatalf("%s: %v", target, err)
+		}
+		if res.Target != target {
+			t.Errorf("looking for %s, found %q", target, res.Target)
+		}
+		if res.Questions < 1 || res.Questions > 6 {
+			t.Errorf("%s: %d questions", target, res.Questions)
+		}
+	}
+}
+
+func TestDiscoverWithInitialExamples(t *testing.T) {
+	c := paperCollection(t)
+	oracle, _ := c.TargetOracle("S3")
+	res, err := c.Discover([]string{"b", "c"}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != "S3" {
+		t.Fatalf("found %q", res.Target)
+	}
+	if res.Questions > 2 {
+		t.Errorf("%d questions for 3 candidates", res.Questions)
+	}
+}
+
+func TestDiscoverUnknownInitialEntity(t *testing.T) {
+	c := paperCollection(t)
+	oracle, _ := c.TargetOracle("S1")
+	_, err := c.Discover([]string{"zzz"}, oracle)
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestDiscoverMaxQuestions(t *testing.T) {
+	c := paperCollection(t)
+	oracle, _ := c.TargetOracle("S6")
+	res, err := c.Discover(nil, oracle, WithMaxQuestions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Questions > 1 || res.Target != "" || len(res.Candidates) < 2 {
+		t.Errorf("halted run: %+v", res)
+	}
+}
+
+func TestDiscoverWithUnknownAnswers(t *testing.T) {
+	c := paperCollection(t)
+	inner, _ := c.TargetOracle("S1")
+	oracle := OracleFunc(func(entity string) Answer {
+		if entity == "c" || entity == "d" {
+			return Unknown
+		}
+		return inner.Answer(entity)
+	})
+	res, err := c.Discover(nil, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != "S1" {
+		t.Errorf("found %q", res.Target)
+	}
+}
+
+func TestDiscoverBatch(t *testing.T) {
+	c := paperCollection(t)
+	oracle, _ := c.TargetOracle("S5")
+	res, err := c.Discover(nil, oracle, WithBatchSize(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != "S5" {
+		t.Fatalf("found %q", res.Target)
+	}
+	if res.Interactions > res.Questions {
+		t.Errorf("interactions %d > questions %d", res.Interactions, res.Questions)
+	}
+}
+
+// lyingOracle answers wrongly about one entity and confirms only the truth.
+type lyingOracle struct {
+	truth  Oracle
+	lieOn  string
+	target string
+}
+
+func (l lyingOracle) Answer(entity string) Answer {
+	a := l.truth.Answer(entity)
+	if entity == l.lieOn {
+		if a == Yes {
+			return No
+		}
+		return Yes
+	}
+	return a
+}
+
+func (l lyingOracle) Confirm(name string) bool { return name == l.target }
+
+func TestDiscoverBacktracking(t *testing.T) {
+	c := paperCollection(t)
+	truth, _ := c.TargetOracle("S4")
+	// Lie about every entity in turn; with backtracking the truth must
+	// still emerge.
+	for _, lieOn := range []string{"b", "c", "d", "g", "h"} {
+		oracle := lyingOracle{truth: truth, lieOn: lieOn, target: "S4"}
+		res, err := c.Discover(nil, oracle, WithBacktracking())
+		if err != nil {
+			t.Fatalf("lie on %s: %v", lieOn, err)
+		}
+		if res.Target != "S4" {
+			t.Errorf("lie on %s: found %q after %d backtracks", lieOn, res.Target, res.Backtracks)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	c := paperCollection(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != c.Len() {
+		t.Fatalf("round trip: %d sets", back.Len())
+	}
+}
+
+func TestReadCollectionBad(t *testing.T) {
+	if _, err := ReadCollection(strings.NewReader("noelements\n")); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestTargetOracleUnknownSet(t *testing.T) {
+	c := paperCollection(t)
+	if _, err := c.TargetOracle("nope"); err == nil {
+		t.Error("TargetOracle accepted unknown set")
+	}
+}
+
+func TestInternalEscapeHatch(t *testing.T) {
+	c := paperCollection(t)
+	if c.Internal().Len() != 7 {
+		t.Error("Internal() broken")
+	}
+}
+
+func TestTreePersistAndDiscover(t *testing.T) {
+	c := paperCollection(t)
+	tr, err := c.BuildTree(WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.LoadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.AvgDepth() != tr.AvgDepth() || loaded.Height() != tr.Height() {
+		t.Error("loaded tree costs differ")
+	}
+	for _, target := range c.Names() {
+		oracle, _ := c.TargetOracle(target)
+		res, err := c.DiscoverWithTree(loaded, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Target != target {
+			t.Errorf("offline discovery of %s found %q", target, res.Target)
+		}
+		if res.Questions != tr.QuestionsFor(target) {
+			t.Errorf("%s: %d questions, tree says %d",
+				target, res.Questions, tr.QuestionsFor(target))
+		}
+	}
+}
+
+func TestLoadTreeRejectsGarbage(t *testing.T) {
+	c := paperCollection(t)
+	if _, err := c.LoadTree(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage tree accepted")
+	}
+}
+
+func TestDiscoverWithTreeUnknownStops(t *testing.T) {
+	c := paperCollection(t)
+	tr, err := c.BuildTree(WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := OracleFunc(func(string) Answer { return Unknown })
+	res, err := c.DiscoverWithTree(tr, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != "" || len(res.Candidates) != 7 {
+		t.Errorf("unknown-at-root walk: %+v", res)
+	}
+}
