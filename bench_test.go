@@ -9,6 +9,8 @@
 package setdiscovery
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"setdiscovery/internal/cost"
@@ -135,8 +137,9 @@ func BenchmarkGainKMemo(b *testing.B) {
 	})
 }
 
-// BenchmarkMemoKey measures the canonical subset-key encoding used by the
-// Algorithm 1 cache.
+// BenchmarkMemoKey measures the legacy canonical subset-key encoding the
+// Algorithm 1 cache used before fingerprints (kept as the baseline the
+// fingerprint win is measured against; see BenchmarkFingerprint).
 func BenchmarkMemoKey(b *testing.B) {
 	c := benchCollection(b)
 	sub := c.All()
@@ -146,6 +149,44 @@ func BenchmarkMemoKey(b *testing.B) {
 		buf = sub.Key(buf[:0])
 	}
 	_ = buf
+}
+
+// BenchmarkFingerprint measures the 128-bit subset fingerprint that keys the
+// concurrency-safe selection caches — compare ns/op and allocs/op against
+// BenchmarkMemoKey (string keys additionally pay a map-key string copy per
+// store, which this micro pair does not even charge).
+func BenchmarkFingerprint(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sub.Fingerprint()
+	}
+}
+
+// BenchmarkBuildParallel measures offline construction (Algorithm 3) across
+// worker counts, reporting the shared lookahead cache's hit rate. The tree
+// is identical at every width; only wall-clock changes.
+func BenchmarkBuildParallel(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	workers := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workers = append(workers, p)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			var sel *strategy.KLP
+			for i := 0; i < b.N; i++ {
+				sel = strategy.NewKLP(cost.AD, 2)
+				if _, err := tree.Build(sub, sel, tree.WithParallelism(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := sel.CacheStats()
+			b.ReportMetric(st.HitRate()*100, "cachehit%")
+		})
+	}
 }
 
 // BenchmarkPartition measures sub-collection splitting via the inverted
@@ -181,22 +222,24 @@ func BenchmarkCeilNLog2(b *testing.B) {
 	}
 }
 
-// BenchmarkTreeBuild measures full offline construction (Algorithm 3).
+// BenchmarkTreeBuild measures full offline construction (Algorithm 3) with
+// the sequential builder, per strategy — the paper's single-threaded cost.
+// BenchmarkBuildParallel covers worker-pool scaling.
 func BenchmarkTreeBuild(b *testing.B) {
 	c := benchCollection(b)
 	sub := c.All()
 	for _, bc := range []struct {
 		name string
-		mk   func() strategy.Strategy
+		mk   func() strategy.Factory
 	}{
-		{"infogain", func() strategy.Strategy { return strategy.InfoGain{} }},
-		{"klp-k2", func() strategy.Strategy { return strategy.NewKLP(cost.AD, 2) }},
-		{"klple-k3-q10", func() strategy.Strategy { return strategy.NewKLPLE(cost.AD, 3, 10) }},
-		{"klplve-k3-q10", func() strategy.Strategy { return strategy.NewKLPLVE(cost.AD, 3, 10) }},
+		{"infogain", func() strategy.Factory { return strategy.InfoGain{} }},
+		{"klp-k2", func() strategy.Factory { return strategy.NewKLP(cost.AD, 2) }},
+		{"klple-k3-q10", func() strategy.Factory { return strategy.NewKLPLE(cost.AD, 3, 10) }},
+		{"klplve-k3-q10", func() strategy.Factory { return strategy.NewKLPLVE(cost.AD, 3, 10) }},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := tree.Build(sub, bc.mk()); err != nil {
+				if _, err := tree.Build(sub, bc.mk(), tree.WithParallelism(1)); err != nil {
 					b.Fatal(err)
 				}
 			}

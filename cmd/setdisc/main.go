@@ -5,7 +5,8 @@
 // Usage:
 //
 //	setdisc -collection sets.txt [-initial fever,cough] [-strategy klp]
-//	        [-k 2] [-q 10] [-metric ad|h] [-max 0] [-batch 1] [-tree]
+//	        [-k 2] [-q 10] [-metric ad|h] [-max 0] [-batch 1] [-parallel 0]
+//	        [-tree]
 //
 // The collection file holds one set per line: a name, then the elements,
 // all tab-separated ('#' starts a comment). With -tree the program prints
@@ -32,6 +33,7 @@ func main() {
 		metricName     = flag.String("metric", "ad", "cost metric: ad (average questions) or h (worst case)")
 		maxQuestions   = flag.Int("max", 0, "halt after this many questions (0 = unlimited)")
 		batch          = flag.Int("batch", 1, "membership questions per interaction")
+		parallel       = flag.Int("parallel", 0, "tree construction workers (0 = GOMAXPROCS, 1 = sequential)")
 		showTree       = flag.Bool("tree", false, "print the offline decision tree and exit")
 		saveTree       = flag.String("save-tree", "", "build the offline tree, save it to this path, and exit")
 		loadTree       = flag.String("load-tree", "", "discover along a tree saved with -save-tree (constant per-question latency)")
@@ -65,6 +67,7 @@ func main() {
 		setdiscovery.WithMetric(metric),
 		setdiscovery.WithMaxQuestions(*maxQuestions),
 		setdiscovery.WithBatchSize(*batch),
+		setdiscovery.WithParallelism(*parallel),
 	}
 
 	if *showTree {

@@ -1,0 +1,131 @@
+package setdiscovery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// syntheticSets builds a deterministic collection of n unique sets for the
+// multi-session tests: set i holds the multiples tagged by i's bits plus a
+// distinguishing marker, giving plenty of shared entities across sets.
+func syntheticSets(n int) map[string][]string {
+	sets := make(map[string][]string, n)
+	for i := 0; i < n; i++ {
+		var elems []string
+		for b := 0; b < 10; b++ {
+			if i&(1<<b) != 0 {
+				elems = append(elems, fmt.Sprintf("bit%d", b))
+			}
+		}
+		elems = append(elems, fmt.Sprintf("marker%d", i))
+		sets[fmt.Sprintf("S%03d", i)] = elems
+	}
+	return sets
+}
+
+// One shared Collection must support many concurrent Discover sessions —
+// including sessions sharing a strategy configuration (and therefore a
+// lookahead cache) and sessions with different configurations. Run with
+// -race; CI does.
+func TestConcurrentDiscoverSharedCollection(t *testing.T) {
+	c, err := NewCollection(syntheticSets(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	const sessions = 16
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			target := names[(g*13)%len(names)]
+			oracle, err := c.TargetOracle(target)
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			opts := []Option{WithK(2)}
+			if g%4 == 3 {
+				opts = []Option{WithStrategy("klplve"), WithK(3), WithQ(5)}
+			}
+			res, err := c.Discover(nil, oracle, opts...)
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			if res.Target != target {
+				t.Errorf("session %d: discovered %q, want %q", g, res.Target, target)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// One shared Tree must support many concurrent DiscoverWithTree walks, and
+// they may interleave with fresh Discover sessions on the same collection.
+func TestConcurrentDiscoverWithTreeSharedTree(t *testing.T) {
+	c, err := NewCollection(syntheticSets(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.BuildTree(WithK(2), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	const sessions = 16
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			target := names[(g*7)%len(names)]
+			oracle, err := c.TargetOracle(target)
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			var res *Result
+			if g%2 == 0 {
+				res, err = c.DiscoverWithTree(tr, oracle)
+			} else {
+				res, err = c.Discover(nil, oracle)
+			}
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			if res.Target != target {
+				t.Errorf("session %d: discovered %q, want %q", g, res.Target, target)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BuildTree must be deterministic across parallelism levels through the
+// public API as well.
+func TestBuildTreeParallelismDeterministic(t *testing.T) {
+	c, err := NewCollection(syntheticSets(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.BuildTree(WithK(2), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 0} {
+		par, err := c.BuildTree(WithK(2), WithParallelism(n))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", n, err)
+		}
+		if par.Render() != seq.Render() {
+			t.Errorf("parallelism %d: tree differs from sequential build", n)
+		}
+		if par.AvgDepth() != seq.AvgDepth() || par.Height() != seq.Height() {
+			t.Errorf("parallelism %d: cost mismatch", n)
+		}
+	}
+}

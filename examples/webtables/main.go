@@ -39,7 +39,7 @@ func main() {
 
 		// Offline: how many questions would this sub-collection need on
 		// average, under the greedy baseline and under k-LP?
-		for _, sel := range []strategy.Strategy{
+		for _, sel := range []strategy.Factory{
 			strategy.InfoGain{},
 			strategy.NewKLP(cost.AD, 2),
 		} {

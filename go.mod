@@ -1,0 +1,3 @@
+module setdiscovery
+
+go 1.24

@@ -1,0 +1,40 @@
+package bitset
+
+import "math/bits"
+
+// Hashing primitive for fingerprinting bitsets.
+//
+// Sum128 feeds every word (including zero words — the word count is fixed by
+// the capacity, so position carries information) through two independent
+// multiply-xor-shift chains seeded differently, yielding a 128-bit digest.
+// Equal bitsets of equal capacity always hash equal; distinct bitsets collide
+// with probability ~2^-128 per pair, which is the basis for replacing exact
+// string memo keys with fingerprints in the selection caches.
+
+const (
+	seedLo = 0x9e3779b97f4a7c15 // 2^64 / φ
+	seedHi = 0xc2b2ae3d27d4eb4f // xxhash prime64_2
+	mult1  = 0xbf58476d1ce4e5b9 // splitmix64 constants
+	mult2  = 0x94d049bb133111eb
+)
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= mult1
+	x ^= x >> 27
+	x *= mult2
+	x ^= x >> 31
+	return x
+}
+
+// Sum128 returns a 128-bit hash of the bitset contents and capacity.
+func (b *Bits) Sum128() (hi, lo uint64) {
+	lo = seedLo ^ mix64(uint64(b.n))
+	hi = seedHi + mix64(uint64(b.n)<<1|1)
+	for _, w := range b.words {
+		lo = mix64(lo^w) * mult1
+		hi = mix64(hi+bits.RotateLeft64(w, 31)) * mult2
+	}
+	return mix64(hi ^ lo>>32), mix64(lo + hi>>29)
+}

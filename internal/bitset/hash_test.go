@@ -1,0 +1,70 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSum128EqualBitsetsEqualHashes(t *testing.T) {
+	a := FromSlice(100, []uint32{3, 17, 64, 99})
+	b := New(100)
+	for _, i := range []int{3, 17, 64, 99} {
+		b.Set(i)
+	}
+	ahi, alo := a.Sum128()
+	bhi, blo := b.Sum128()
+	if ahi != bhi || alo != blo {
+		t.Fatal("equal bitsets hashed differently")
+	}
+}
+
+func TestSum128SensitiveToEveryBit(t *testing.T) {
+	// Flipping any single bit must change the hash — the fingerprint caches
+	// rely on distinct sub-collections (almost) never colliding, and a
+	// single-bit blind spot would collide trivially.
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		base := New(n)
+		bhi, blo := base.Sum128()
+		for i := 0; i < n; i++ {
+			b := New(n)
+			b.Set(i)
+			hi, lo := b.Sum128()
+			if hi == bhi && lo == blo {
+				t.Errorf("n=%d: setting bit %d left the hash unchanged", n, i)
+			}
+		}
+	}
+}
+
+func TestSum128CapacityMatters(t *testing.T) {
+	ahi, alo := New(64).Sum128()
+	bhi, blo := New(128).Sum128()
+	if ahi == bhi && alo == blo {
+		t.Error("empty bitsets of different capacity hashed equal")
+	}
+}
+
+func TestSum128NoCollisionsAcrossRandomSets(t *testing.T) {
+	// Birthday-style spot check: 20k random subsets of a 512-bit universe,
+	// no collisions expected (a collision here would indicate a badly
+	// broken mix, not bad luck).
+	r := rand.New(rand.NewSource(42))
+	seen := make(map[[2]uint64][]uint32, 20000)
+	for i := 0; i < 20000; i++ {
+		k := 1 + r.Intn(40)
+		pos := make([]uint32, k)
+		for j := range pos {
+			pos[j] = uint32(r.Intn(512))
+		}
+		b := FromSlice(512, pos)
+		hi, lo := b.Sum128()
+		key := [2]uint64{hi, lo}
+		if prev, ok := seen[key]; ok {
+			if !b.Equal(FromSlice(512, prev)) {
+				t.Fatalf("collision between distinct bitsets %v and %v", prev, pos)
+			}
+			continue
+		}
+		seen[key] = pos
+	}
+}

@@ -1,0 +1,151 @@
+// Package cache provides the concurrency-safe memoisation store shared by
+// the entity-selection strategies (Algorithm 1's Cache and its relatives).
+//
+// A Cache maps 192-bit keys — a 128-bit sub-collection fingerprint plus a
+// 64-bit auxiliary word packing strategy parameters such as the remaining
+// lookahead depth and beam width — to arbitrary entry values. The store is
+// sharded: keys are distributed over a fixed power-of-two number of
+// independently mutex-striped segments, so concurrent tree-build workers and
+// discovery sessions contend only when they touch the same shard. Because
+// fingerprints are already uniformly distributed hashes, the shard index is
+// a cheap mix of the key words.
+//
+// Entries are write-once-wins-last: concurrent Put calls for one key may
+// overwrite each other, which is sound for the selection caches because
+// every value written for a key is independently valid (an exact result or
+// a certified bound). Hit/miss counters are maintained per shard with
+// atomics and aggregated by Stats, giving builds and benchmarks a hit-rate
+// signal without extra locking.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one memoised computation: the sub-collection fingerprint
+// (Hi, Lo) and an auxiliary word for whatever parameters distinguish
+// computations over the same sub-collection (lookahead depth, beam width...).
+type Key struct {
+	Hi, Lo, Aux uint64
+}
+
+const (
+	shardBits  = 6
+	shardCount = 1 << shardBits // 64 shards
+)
+
+// shard is one mutex-striped segment of the table. The fields total 48
+// bytes (24 RWMutex + 8 map header + 2×8 counters); the pad rounds the
+// shard up to exactly one 64-byte cache line so neighbouring shards' hot
+// mutex and counter words never false-share.
+type shard[V any] struct {
+	mu     sync.RWMutex
+	m      map[Key]V
+	hits   atomic.Int64
+	misses atomic.Int64
+	_      [64 - 48]byte
+}
+
+// Cache is a sharded, mutex-striped fingerprint-keyed memo table. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+}
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]V)
+	}
+	return c
+}
+
+// shardFor picks the segment for a key. Fingerprints are uniform hashes, so
+// folding the words is enough to spread keys across shards; Aux is multiplied
+// by an odd constant so small parameter values (k, q) still move bits into
+// the shard index.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	h := k.Lo ^ k.Hi>>shardBits ^ k.Aux*0x9e3779b97f4a7c15
+	return &c.shards[h&(shardCount-1)]
+}
+
+// Get returns the entry for k, if present, and records the hit or miss.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores the entry for k, overwriting any previous value.
+func (c *Cache[V]) Put(k Key, v V) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Len returns the number of entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Reset discards all entries and zeroes the hit/miss counters.
+func (c *Cache[V]) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[Key]V)
+		s.mu.Unlock()
+		s.hits.Store(0)
+		s.misses.Store(0)
+	}
+}
+
+// Stats is a point-in-time aggregate of cache effectiveness.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats aggregates the per-shard counters. Counters and entry counts are
+// read without a global lock, so under concurrent mutation the aggregate is
+// approximate — exact whenever the cache is quiescent.
+func (c *Cache[V]) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		s.mu.RLock()
+		st.Entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return st
+}

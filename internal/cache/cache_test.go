@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int]()
+	k := Key{Hi: 1, Lo: 2, Aux: 3}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, 42)
+	if v, ok := c.Get(k); !ok || v != 42 {
+		t.Fatalf("Get = %d, %v; want 42, true", v, ok)
+	}
+	// Distinct aux words must be distinct keys.
+	if _, ok := c.Get(Key{Hi: 1, Lo: 2, Aux: 4}); ok {
+		t.Error("aux word ignored in key identity")
+	}
+	c.Put(k, 7)
+	if v, _ := c.Get(k); v != 7 {
+		t.Errorf("overwrite lost: got %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := New[string]()
+	k := Key{Hi: 9}
+	c.Get(k)      // miss
+	c.Put(k, "x") //
+	c.Get(k)      // hit
+	c.Get(Key{})  // miss
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit, 2 misses, 1 entry", st)
+	}
+	if got, want := st.HitRate(), 1.0/3; got != want {
+		t.Errorf("HitRate = %f, want %f", got, want)
+	}
+	c.Reset()
+	st = c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("Stats after Reset = %+v, want zeroes", st)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("HitRate of no lookups should be 0")
+	}
+}
+
+// Keys are spread over multiple shards, otherwise striping buys nothing.
+func TestSharding(t *testing.T) {
+	c := New[int]()
+	used := make(map[*shard[int]]bool)
+	for i := uint64(0); i < 256; i++ {
+		k := Key{Hi: i * 0x9e3779b97f4a7c15, Lo: i * 0xc2b2ae3d27d4eb4f, Aux: i}
+		c.Put(k, int(i))
+		used[c.shardFor(k)] = true
+	}
+	if len(used) < shardCount/2 {
+		t.Errorf("256 hashed keys landed on only %d/%d shards", len(used), shardCount)
+	}
+	if c.Len() != 256 {
+		t.Errorf("Len = %d, want 256", c.Len())
+	}
+}
+
+// Hammer one cache from many goroutines; run under -race this verifies the
+// striping. Values written for a key are always one of the valid ones.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[uint64]()
+	const goroutines = 16
+	const ops = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < ops; i++ {
+				k := Key{Hi: i % 97, Lo: i % 31, Aux: i % 11}
+				if v, ok := c.Get(k); ok && v != k.Hi^k.Lo {
+					t.Errorf("corrupt entry: key %+v value %d", k, v)
+					return
+				}
+				c.Put(k, k.Hi^k.Lo)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 {
+		t.Error("no hits across 16 goroutines sharing keys")
+	}
+}

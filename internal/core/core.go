@@ -43,6 +43,9 @@ var (
 type (
 	// Strategy selects the next membership question for a sub-collection.
 	Strategy = strategy.Strategy
+	// Factory mints per-worker Strategy instances sharing concurrency-safe
+	// lookahead caches.
+	Factory = strategy.Factory
 	// KLP is Algorithm 1 (k-LP) and its k-LPLE/k-LPLVE variants.
 	KLP = strategy.KLP
 	// Recorder collects the per-node pruning statistics of Table 4.

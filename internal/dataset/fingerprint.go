@@ -1,0 +1,21 @@
+package dataset
+
+// Fingerprint is a 128-bit hash identifying a sub-collection of one
+// Collection: it is computed over the member-set bitset (and its capacity),
+// so two Subsets of the same Collection receive equal fingerprints iff they
+// have the same members. It replaces the canonical string keys previously
+// used to memoise lookahead results: a fingerprint is a fixed-size value
+// (no allocation, cheap to compare and shard on) at the price of a ~2^-128
+// per-pair collision probability, negligible against the cache sizes any
+// tree build can reach.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// Fingerprint returns the 128-bit fingerprint of the sub-collection's
+// membership. It is a pure function of the members — safe to call from any
+// number of goroutines sharing the Subset.
+func (s *Subset) Fingerprint() Fingerprint {
+	hi, lo := s.members.Sum128()
+	return Fingerprint{Hi: hi, Lo: lo}
+}

@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestFingerprintIdentifiesMembership(t *testing.T) {
+	c, err := FromIDSets(
+		[]string{"a", "b", "c", "d"},
+		[][]Entity{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+		4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := c.All()
+	if all.Fingerprint() != c.All().Fingerprint() {
+		t.Error("equal subsets fingerprinted differently")
+	}
+	if all.Fingerprint() == all.Without(0).Fingerprint() {
+		t.Error("distinct subsets share a fingerprint")
+	}
+	// The same member set reached along different partition paths must
+	// fingerprint equal — that is what makes the lookahead cache fire
+	// across sibling workers and sessions.
+	a := c.SubsetOf([]uint32{1, 2})
+	with, _ := all.Without(0).Partition(2) // sets containing entity 2: b, c
+	if a.Fingerprint() != with.Fingerprint() {
+		t.Error("same members via different paths fingerprinted differently")
+	}
+}

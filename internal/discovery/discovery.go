@@ -146,7 +146,10 @@ type Question struct {
 
 // Options configures a discovery run.
 type Options struct {
-	// Strategy selects the next question; required.
+	// Strategy selects the next question; required. The instance is owned
+	// by this run: when several sessions run concurrently, mint one
+	// instance per session from a shared strategy.Factory (the sessions
+	// then share the factory's concurrency-safe lookahead cache).
 	Strategy strategy.Strategy
 	// MaxQuestions is the halt condition Γ: stop after this many questions
 	// (0 = unlimited).

@@ -8,7 +8,7 @@ import (
 	"setdiscovery/internal/tree"
 )
 
-func buildTree(t *testing.T, c *dataset.Collection, sel strategy.Strategy) *tree.Tree {
+func buildTree(t *testing.T, c *dataset.Collection, sel strategy.Factory) *tree.Tree {
 	t.Helper()
 	tr, err := tree.Build(c.All(), sel)
 	if err != nil {

@@ -62,11 +62,11 @@ func table1(cfg Config, title string, sweep []synth.Params, key func(synth.Param
 
 // synthStrategies are the strategies the synthetic sweeps compare, with the
 // paper's parameter choices (§5.3.1: k-LP k=2; k-LPLE/k-LPLVE k=3, q=10).
-func synthStrategies() []func() strategy.Strategy {
-	return []func() strategy.Strategy{
-		func() strategy.Strategy { return strategy.NewKLP(cost.AD, 2) },
-		func() strategy.Strategy { return strategy.NewKLPLE(cost.AD, 3, 10) },
-		func() strategy.Strategy { return strategy.NewKLPLVE(cost.AD, 3, 10) },
+func synthStrategies() []func() strategy.Factory {
+	return []func() strategy.Factory{
+		func() strategy.Factory { return strategy.NewKLP(cost.AD, 2) },
+		func() strategy.Factory { return strategy.NewKLPLE(cost.AD, 3, 10) },
+		func() strategy.Factory { return strategy.NewKLPLVE(cost.AD, 3, 10) },
 	}
 }
 
@@ -76,7 +76,9 @@ func sweepRow(c *dataset.Collection) (avgQ [3]float64, took [3]time.Duration, er
 	for i, mk := range synthStrategies() {
 		sel := mk()
 		var tr *tree.Tree
-		took[i] = timeIt(func() { tr, err = tree.Build(c.All(), sel) })
+		// Sequential build: the figures report the paper's single-threaded
+		// Algorithm 3 construction time, not the worker-pool wall clock.
+		took[i] = timeIt(func() { tr, err = tree.Build(c.All(), sel, tree.WithParallelism(1)) })
 		if err != nil {
 			return avgQ, took, err
 		}

@@ -78,7 +78,9 @@ func Fig3(cfg Config) (*Result, error) {
 			}
 			sel := strategy.NewKLP(cost.AD, k)
 			var tr *tree.Tree
-			took := timeIt(func() { tr, err = tree.Build(sub, sel) })
+			// Sequential build: Figure 3 reports the paper's single-threaded
+			// construction time, not the worker-pool wall clock.
+			took := timeIt(func() { tr, err = tree.Build(sub, sel, tree.WithParallelism(1)) })
 			if err != nil {
 				return nil, err
 			}
@@ -167,12 +169,12 @@ func Sec532(cfg Config) (*Result, error) {
 	}
 	type contender struct {
 		name string
-		mk   func(m cost.Metric) strategy.Strategy
+		mk   func(m cost.Metric) strategy.Factory
 	}
 	contenders := []contender{
-		{"k-LP(k=2)", func(m cost.Metric) strategy.Strategy { return strategy.NewKLP(m, 2) }},
-		{"k-LPLE(k=3,q=10)", func(m cost.Metric) strategy.Strategy { return strategy.NewKLPLE(m, 3, 10) }},
-		{"k-LPLVE(k=3,q=10)", func(m cost.Metric) strategy.Strategy { return strategy.NewKLPLVE(m, 3, 10) }},
+		{"k-LP(k=2)", func(m cost.Metric) strategy.Factory { return strategy.NewKLP(m, 2) }},
+		{"k-LPLE(k=3,q=10)", func(m cost.Metric) strategy.Factory { return strategy.NewKLPLE(m, 3, 10) }},
+		{"k-LPLVE(k=3,q=10)", func(m cost.Metric) strategy.Factory { return strategy.NewKLPLVE(m, 3, 10) }},
 	}
 	// Baseline trees (InfoGain ignores the metric).
 	baseAD := make([]float64, len(subs))

@@ -7,27 +7,35 @@
 package optimal
 
 import (
+	"setdiscovery/internal/cache"
 	"setdiscovery/internal/cost"
 	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
 )
 
 // Strategy is a strategy.Strategy that selects, at every node, an entity on
 // an optimal decision tree for the sub-collection under the configured
 // metric. Building a tree with it (tree.Build) yields an optimal tree.
-// Not safe for concurrent use.
+//
+// The DP memo is a concurrency-safe fingerprint cache and the value carries
+// no other mutable state, so a Strategy doubles as its own strategy.Factory:
+// the workers of a parallel build share the instance and its memo.
 type Strategy struct {
 	metric cost.Metric
-	memo   map[string]cost.Value
-	keyBuf []byte
+	memo   *cache.Cache[cost.Value]
 }
 
 // New returns an optimal-tree strategy for metric m.
 func New(m cost.Metric) *Strategy {
-	return &Strategy{metric: m, memo: make(map[string]cost.Value)}
+	return &Strategy{metric: m, memo: cache.New[cost.Value]()}
 }
 
 // Name implements strategy.Strategy.
 func (s *Strategy) Name() string { return "optimal(" + s.metric.String() + ")" }
+
+// New implements strategy.Factory: optimal costs are exact, so every worker
+// can share the receiver and its memo directly.
+func (s *Strategy) New() strategy.Strategy { return s }
 
 // Select implements strategy.Strategy: it returns an entity minimising the
 // combined optimal costs of the two induced sub-collections.
@@ -46,14 +54,13 @@ func (s *Strategy) Cost(sub *dataset.Subset) cost.Value {
 	if n <= 1 {
 		return 0
 	}
-	buf := sub.Key(s.keyBuf[:0])
-	s.keyBuf = buf
-	key := string(buf)
-	if v, ok := s.memo[key]; ok {
+	fp := sub.Fingerprint()
+	key := cache.Key{Hi: fp.Hi, Lo: fp.Lo}
+	if v, ok := s.memo.Get(key); ok {
 		return v
 	}
 	_, v := s.best(sub)
-	s.memo[key] = v
+	s.memo.Put(key, v)
 	return v
 }
 
@@ -66,13 +73,11 @@ func (s *Strategy) best(sub *dataset.Subset) (dataset.Entity, cost.Value) {
 	var (
 		bestEnt dataset.Entity
 		bestVal cost.Value = cost.Inf
-		seen               = make(map[string]bool)
-		keyBuf  []byte
+		seen               = make(map[dataset.Fingerprint]bool)
 	)
 	for _, ec := range infos {
 		with, without := sub.Partition(ec.Entity)
-		keyBuf = with.Key(keyBuf[:0])
-		pk := string(keyBuf)
+		pk := with.Fingerprint()
 		if seen[pk] {
 			continue
 		}

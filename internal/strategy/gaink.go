@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"setdiscovery/internal/cache"
 	"setdiscovery/internal/dataset"
 )
 
@@ -24,11 +25,11 @@ import (
 type GainK struct {
 	k     int
 	memo  bool
-	cache map[string]float64
+	cache *cache.Cache[float64] // nil unless memo; shared across siblings
 	// Evaluations counts entity evaluations across all recursion levels —
-	// a machine-independent work measure used alongside wall time.
+	// a machine-independent work measure used alongside wall time. It is
+	// per-instance: siblings minted by New count their own work.
 	Evaluations int64
-	keyBuf      []byte
 	excluded    map[dataset.Entity]bool // active only during SelectExcluding
 }
 
@@ -44,8 +45,18 @@ func NewGainK(k int) *GainK {
 func NewGainKMemo(k int) *GainK {
 	g := NewGainK(k)
 	g.memo = true
-	g.cache = make(map[string]float64)
+	g.cache = cache.New[float64]()
 	return g
+}
+
+// New implements Factory: the sibling shares the entropy memo cache (when
+// memoised) but counts its own evaluations. Cached entropies are exact, so
+// sharing cannot change selections.
+func (g *GainK) New() Strategy {
+	sibling := *g
+	sibling.Evaluations = 0
+	sibling.excluded = nil
+	return &sibling
 }
 
 // Name implements Strategy.
@@ -93,13 +104,11 @@ func (g *GainK) entropy(sub *dataset.Subset, j int) float64 {
 	if j == 0 {
 		return math.Log2(float64(n))
 	}
-	var key string
+	var key cache.Key
 	if g.memo {
-		buf := sub.Key(g.keyBuf[:0])
-		buf = append(buf, byte(j))
-		g.keyBuf = buf
-		key = string(buf)
-		if v, ok := g.cache[key]; ok {
+		fp := sub.Fingerprint()
+		key = cache.Key{Hi: fp.Hi, Lo: fp.Lo, Aux: uint64(j)}
+		if v, ok := g.cache.Get(key); ok {
 			return v
 		}
 	}
@@ -128,7 +137,7 @@ func (g *GainK) entropy(sub *dataset.Subset, j int) float64 {
 		}
 	}
 	if g.memo {
-		g.cache[key] = best
+		g.cache.Put(key, best)
 	}
 	return best
 }

@@ -14,6 +14,10 @@ type MostEven struct{}
 // Name implements Strategy.
 func (MostEven) Name() string { return "most-even" }
 
+// New implements Factory: MostEven is stateless, so every worker may use the
+// same value.
+func (s MostEven) New() Strategy { return s }
+
 // Select implements Strategy.
 func (MostEven) Select(sub *dataset.Subset) (dataset.Entity, bool) {
 	infos := sub.InformativeEntities()
@@ -38,6 +42,9 @@ type InfoGain struct{}
 
 // Name implements Strategy.
 func (InfoGain) Name() string { return "infogain" }
+
+// New implements Factory: InfoGain is stateless.
+func (s InfoGain) New() Strategy { return s }
 
 // Select implements Strategy.
 func (InfoGain) Select(sub *dataset.Subset) (dataset.Entity, bool) {
@@ -79,6 +86,9 @@ type Indg struct{}
 
 // Name implements Strategy.
 func (Indg) Name() string { return "indg" }
+
+// New implements Factory: Indg is stateless.
+func (s Indg) New() Strategy { return s }
 
 // Select implements Strategy.
 func (Indg) Select(sub *dataset.Subset) (dataset.Entity, bool) {

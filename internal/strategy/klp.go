@@ -1,9 +1,10 @@
 package strategy
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync"
 
+	"setdiscovery/internal/cache"
 	"setdiscovery/internal/cost"
 	"setdiscovery/internal/dataset"
 )
@@ -17,10 +18,14 @@ import (
 //   - k-LPLVE (§4.4.3): q candidates at the node's own selection, a single
 //     candidate inside recursive lower-bound steps.
 //
-// A KLP value carries a memoisation cache keyed by (sub-collection, k,
-// effective beam width), exactly the Cache of Algorithm 1; reuse one
-// instance for a whole tree construction so lookahead work at a parent is
-// shared with its children. KLP is not safe for concurrent use.
+// A KLP value carries Algorithm 1's memoisation cache keyed by the
+// sub-collection fingerprint plus (k, effective beam width). The cache is
+// concurrency-safe and shared by every sibling minted through New, so
+// lookahead work at a parent node is shared with its children, across the
+// workers of a parallel tree build, and across concurrent discovery
+// sessions over the same collection. The KLP instance itself carries
+// per-call scratch state (exclusions, instrumentation) and is a
+// single-worker object: share the factory, not the instance.
 type KLP struct {
 	metric   cost.Metric
 	k        int
@@ -30,9 +35,8 @@ type KLP struct {
 	noSortPrune bool // ablation: disable the sorted early-stop (lines 14–15)
 	noULPrune   bool // ablation: disable recursive upper limits (lines 22, 29)
 
-	cache    map[string]cacheEntry
+	cache    *cache.Cache[cacheEntry]
 	recorder *Recorder
-	keyBuf   []byte
 	excluded map[dataset.Entity]bool // active only during SelectExcluding
 }
 
@@ -48,7 +52,18 @@ func NewKLP(m cost.Metric, k int) *KLP {
 	if k < 1 {
 		panic("strategy: k-LP requires k >= 1")
 	}
-	return &KLP{metric: m, k: k, cache: make(map[string]cacheEntry)}
+	return &KLP{metric: m, k: k, cache: cache.New[cacheEntry]()}
+}
+
+// New implements Factory: it returns a sibling strategy for the exclusive
+// use of one goroutine, sharing the receiver's lookahead cache, recorder and
+// configuration. Cached bounds are exact or certified regardless of which
+// sibling computed them, so sharing never changes selections — it only
+// skips work (see the determinism argument on tree.Build).
+func (s *KLP) New() Strategy {
+	sibling := *s
+	sibling.excluded = nil
+	return &sibling
 }
 
 // NewKLPLE returns a k-LPLE strategy: k steps ahead with at most q candidate
@@ -96,12 +111,18 @@ func (s *KLP) DisableSortPrune() *KLP { s.noSortPrune = true; return s }
 func (s *KLP) DisableULPrune() *KLP { s.noULPrune = true; return s }
 
 // Instrument attaches a Recorder that collects per-node pruning statistics
-// (used to regenerate Table 4 and the §5.3.3 root-pruning rates).
+// (used to regenerate Table 4 and the §5.3.3 root-pruning rates). Siblings
+// minted by New after the call share the recorder.
 func (s *KLP) Instrument(r *Recorder) *KLP { s.recorder = r; return s }
 
-// ResetCache discards memoised lookahead results. Call between unrelated
-// collections; within one collection the cache only ever helps.
-func (s *KLP) ResetCache() { s.cache = make(map[string]cacheEntry) }
+// ResetCache discards memoised lookahead results — for the receiver and for
+// every sibling sharing its cache. Call between unrelated collections;
+// within one collection the cache only ever helps.
+func (s *KLP) ResetCache() { s.cache.Reset() }
+
+// CacheStats reports hit/miss/entry counts of the shared lookahead cache,
+// for benchmarks and capacity planning.
+func (s *KLP) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // Select implements Strategy: it returns the entity with the minimum k-step
 // scaled lower bound for sub (ties: most even, then smallest entity ID, via
@@ -136,15 +157,13 @@ func (s *KLP) effectiveQ(depth int) int {
 	return s.q
 }
 
-// cacheKey builds the memo key for (sub, k, qEff). The buffer is reused
-// across calls; the returned string copy is the map key.
-func (s *KLP) cacheKey(sub *dataset.Subset, k, qEff int) string {
-	buf := s.keyBuf[:0]
-	buf = sub.Key(buf)
-	buf = binary.AppendUvarint(buf, uint64(k))
-	buf = binary.AppendUvarint(buf, uint64(qEff))
-	s.keyBuf = buf
-	return string(buf)
+// cacheKey builds the memo key for (sub, k, qEff): the sub-collection's
+// 128-bit fingerprint plus the remaining depth and effective beam width
+// packed into the auxiliary word. The metric needs no slot — each factory
+// lineage owns a metric-specific cache.
+func (s *KLP) cacheKey(sub *dataset.Subset, k, qEff int) cache.Key {
+	fp := sub.Fingerprint()
+	return cache.Key{Hi: fp.Hi, Lo: fp.Lo, Aux: uint64(k)<<32 | uint64(uint32(qEff))}
 }
 
 // search is Algorithm 1. It returns the entity of sub with the minimum
@@ -156,11 +175,11 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 	// Exclusions (SelectExcluding) constrain only the entity proposed at the
 	// node itself, so they bypass the node-level cache.
 	excluding := depth == 0 && len(s.excluded) > 0
-	var key string
+	var key cache.Key
 	if !excluding {
 		qEff := s.effectiveQ(depth)
 		key = s.cacheKey(sub, k, qEff)
-		if ce, ok := s.cache[key]; ok {
+		if ce, ok := s.cache.Get(key); ok {
 			// Lines 1–6: a cached value decides the call unless it records a
 			// pruned search whose limit was weaker than ul.
 			if ul <= ce.val {
@@ -198,7 +217,7 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 	if k <= 1 {
 		best := cands[0]
 		if !excluding {
-			s.cache[key] = cacheEntry{best.entity, best.lb1, true}
+			s.cache.Put(key, cacheEntry{best.entity, best.lb1, true})
 		}
 		if best.lb1 >= ul {
 			return 0, best.lb1, false
@@ -265,10 +284,10 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 	}
 
 	if !excluding {
-		s.cache[key] = cacheEntry{ent, ul, found}
+		s.cache.Put(key, cacheEntry{ent, ul, found})
 	}
 	if depth == 0 && s.recorder != nil {
-		s.recorder.Nodes = append(s.recorder.Nodes, ns)
+		s.recorder.record(ns)
 	}
 	return ent, ul, found
 }
@@ -292,13 +311,27 @@ func (ns NodeStats) PrunedFraction() float64 {
 }
 
 // Recorder accumulates per-node pruning statistics across the top-level
-// Select calls of an instrumented KLP.
+// Select calls of an instrumented KLP. Appends are mutex-guarded so sibling
+// strategies of a parallel tree build may share one Recorder; read Nodes
+// only after the build or selection in question has finished.
 type Recorder struct {
+	mu    sync.Mutex
 	Nodes []NodeStats
 }
 
+// record appends one node's statistics.
+func (r *Recorder) record(ns NodeStats) {
+	r.mu.Lock()
+	r.Nodes = append(r.Nodes, ns)
+	r.mu.Unlock()
+}
+
 // Reset clears the recorded nodes.
-func (r *Recorder) Reset() { r.Nodes = r.Nodes[:0] }
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.Nodes = r.Nodes[:0]
+	r.mu.Unlock()
+}
 
 // AvgPrunedFraction returns the mean pruned fraction over recorded nodes.
 func (r *Recorder) AvgPrunedFraction() float64 {

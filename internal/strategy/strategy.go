@@ -23,9 +23,32 @@ import (
 // returns false when the sub-collection has no informative entity (size ≤ 1,
 // or every entity is present in all or none of the member sets — impossible
 // for >1 unique sets).
+//
+// A Strategy instance is a single-worker object: it may carry per-call
+// scratch state (exclusion sets, instrumentation) and must not be shared by
+// concurrent goroutines. Concurrent workers each obtain their own instance
+// from a Factory; instances minted by one factory share the concurrency-safe
+// memoisation caches, so lookahead work done by one worker or session is
+// visible to all of its siblings.
 type Strategy interface {
 	Name() string
 	Select(sub *dataset.Subset) (dataset.Entity, bool)
+}
+
+// Factory mints per-worker Strategy instances. Factories are safe for
+// concurrent use: tree construction calls New once per worker goroutine, and
+// every concurrent discovery session over a shared collection draws its own
+// instance. All instances from one factory share the factory's fingerprint
+// caches (Algorithm 1's Cache), which are concurrency-safe.
+//
+// Every concrete strategy in this package implements both Strategy and
+// Factory: the stateless baselines return themselves from New, the stateful
+// lookahead strategies return a sibling sharing their cache. A concrete
+// value can therefore be used directly where a Factory is expected.
+type Factory interface {
+	Name() string
+	// New returns a Strategy for the exclusive use of one goroutine.
+	New() Strategy
 }
 
 // candidate is an informative entity with its split statistics.
@@ -76,7 +99,7 @@ func abs(x int) int {
 	return x
 }
 
-// New builds a strategy by name. Recognised names (case-insensitive):
+// New builds a strategy factory by name. Recognised names (case-insensitive):
 //
 //	most-even            greedy most-even partitioning (§4.2.1)
 //	infogain             information gain (§4.2.2, eq 9)
@@ -90,7 +113,7 @@ func abs(x int) int {
 //
 // m is the cost metric for the lookahead strategies; k and q are ignored by
 // strategies that do not use them.
-func New(name string, m cost.Metric, k, q int) (Strategy, error) {
+func New(name string, m cost.Metric, k, q int) (Factory, error) {
 	switch strings.ToLower(name) {
 	case "most-even", "mosteven":
 		return MostEven{}, nil

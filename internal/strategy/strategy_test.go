@@ -333,11 +333,11 @@ func TestResetCache(t *testing.T) {
 	c := testutil.PaperCollection()
 	s := NewKLP(cost.AD, 2)
 	s.Select(c.All())
-	if len(s.cache) == 0 {
+	if s.CacheStats().Entries == 0 {
 		t.Fatal("cache empty after Select")
 	}
 	s.ResetCache()
-	if len(s.cache) != 0 {
+	if s.CacheStats().Entries != 0 {
 		t.Error("ResetCache left entries")
 	}
 }

@@ -1,11 +1,17 @@
 // Package tree implements decision trees over collections of sets: offline
-// construction (Algorithm 3), cost evaluation under the AD and H metrics,
-// structural validation of the §3 invariants, and rendering.
+// construction (Algorithm 3) with an optionally parallel builder, cost
+// evaluation under the AD and H metrics, structural validation of the §3
+// invariants, and rendering.
+//
+// A constructed Tree is immutable and safe for any number of concurrent
+// readers: Follow, Depth, Render, the cost accessors and discovery.FollowTree
+// all operate without mutation.
 package tree
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"setdiscovery/internal/cost"
@@ -32,23 +38,68 @@ type Tree struct {
 	Leaves int // number of leaves (= sets represented)
 }
 
+// BuildOption configures Build.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	workers int
+}
+
+// WithParallelism bounds the worker pool of Build at n goroutines. n ≤ 0
+// selects the default, GOMAXPROCS; n = 1 forces the sequential build. The
+// built tree is identical for every n (see Build).
+func WithParallelism(n int) BuildOption {
+	return func(c *buildConfig) { c.workers = n }
+}
+
 // Build runs Algorithm 3: construct a decision tree for the sub-collection
-// sub using entity-selection strategy sel. It fails if the strategy cannot
-// propose an entity for a sub-collection of ≥ 2 sets (which cannot happen
-// for collections of unique sets) or if a proposed entity does not split
-// the sub-collection.
-func Build(sub *dataset.Subset, sel strategy.Strategy) (*Tree, error) {
+// sub, drawing per-worker entity-selection strategies from f. It fails if
+// the strategy cannot propose an entity for a sub-collection of ≥ 2 sets
+// (which cannot happen for collections of unique sets) or if a proposed
+// entity does not split the sub-collection.
+//
+// By default the Yes/No recursion fans out over a pool of GOMAXPROCS
+// workers (bound it with WithParallelism). The output is deterministic —
+// byte-identical to the sequential build — because each node's selection
+// depends only on its own sub-collection: strategies from one factory share
+// a memo cache, but every cached value is exact or a certified bound, so a
+// cache hit can change how much work a selection does, never its result.
+func Build(sub *dataset.Subset, f strategy.Factory, opts ...BuildOption) (*Tree, error) {
 	if sub.Size() == 0 {
 		return nil, fmt.Errorf("tree: cannot build over an empty sub-collection")
 	}
-	root, err := build(sub, sel)
+	cfg := buildConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	b := &builder{factory: f}
+	if cfg.workers > 1 {
+		// The calling goroutine is worker zero; the semaphore admits the
+		// extra ones.
+		b.sem = make(chan struct{}, cfg.workers-1)
+	}
+	root, err := b.build(sub, f.New())
 	if err != nil {
 		return nil, err
 	}
 	return &Tree{Root: root, Leaves: sub.Size()}, nil
 }
 
-func build(sub *dataset.Subset, sel strategy.Strategy) (*Node, error) {
+// builder carries the shared state of one Build call: the strategy factory
+// and the token semaphore bounding extra worker goroutines (nil when the
+// build is sequential).
+type builder struct {
+	factory strategy.Factory
+	sem     chan struct{}
+}
+
+// build constructs the subtree for sub. sel is owned by the calling
+// goroutine; when a branch is forked off, the new goroutine mints its own
+// sibling strategy from the factory.
+func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, error) {
 	// Lines 1–3: a singleton collection is a leaf.
 	if sub.Size() == 1 {
 		return &Node{Set: sub.Single()}, nil
@@ -65,12 +116,39 @@ func build(sub *dataset.Subset, sel strategy.Strategy) (*Node, error) {
 		return nil, fmt.Errorf("tree: strategy %s proposed non-splitting entity %d",
 			sel.Name(), e)
 	}
-	// Lines 8–10: recurse.
-	yes, err := build(with, sel)
+	// Lines 8–10: recurse. If a worker token is free, the Yes branch runs on
+	// its own goroutine while this one continues with the No branch;
+	// otherwise both run inline. The fork-join is structured — the parent
+	// always waits for its forked child — so errors propagate and no
+	// goroutine outlives Build.
+	if b.sem != nil {
+		select {
+		case b.sem <- struct{}{}:
+			var yes *Node
+			var yerr error
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				yes, yerr = b.build(with, b.factory.New())
+				<-b.sem
+			}()
+			no, nerr := b.build(without, sel)
+			<-done
+			if yerr != nil {
+				return nil, yerr
+			}
+			if nerr != nil {
+				return nil, nerr
+			}
+			return &Node{Entity: e, Yes: yes, No: no}, nil
+		default:
+		}
+	}
+	yes, err := b.build(with, sel)
 	if err != nil {
 		return nil, err
 	}
-	no, err := build(without, sel)
+	no, err := b.build(without, sel)
 	if err != nil {
 		return nil, err
 	}

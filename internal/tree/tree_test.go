@@ -13,7 +13,7 @@ import (
 	"setdiscovery/internal/testutil"
 )
 
-func buildPaperTree(t *testing.T, sel strategy.Strategy) (*dataset.Collection, *Tree) {
+func buildPaperTree(t *testing.T, sel strategy.Factory) (*dataset.Collection, *Tree) {
 	t.Helper()
 	c := testutil.PaperCollection()
 	tr, err := Build(c.All(), sel)
@@ -169,7 +169,7 @@ func TestTreeCostAtLeastLB0(t *testing.T) {
 		if sub.Size() < 2 {
 			continue
 		}
-		for _, sel := range []strategy.Strategy{
+		for _, sel := range []strategy.Factory{
 			strategy.MostEven{}, strategy.NewKLP(cost.AD, 2), strategy.NewKLP(cost.H, 2),
 		} {
 			tr, err := Build(sub, sel)

@@ -21,9 +21,21 @@
 //	res, err := c.Discover([]string{"fever"}, oracle)     // ask the user
 //	tr, err := c.BuildTree(setdiscovery.WithStrategy("klp"), setdiscovery.WithK(3))
 //
+// # Concurrency
+//
+// A Collection and a Tree are safe for any number of concurrent Discover,
+// DiscoverWithTree and read-only calls over one shared instance: the
+// underlying dataset and tree are immutable, every discovery session draws
+// its own strategy instance from a per-collection factory, and the lookahead
+// memo caches behind those factories are concurrency-safe and shared — work
+// done by one session or tree build speeds up the next. BuildTree itself
+// fans the Yes/No recursion out over a bounded worker pool (WithParallelism,
+// default GOMAXPROCS) and produces output identical to the sequential build.
+//
 // The sub-packages under internal/ hold the full machinery: cost bounds,
-// strategies, tree construction, the discovery loop, dataset generators and
-// the experiment harness reproducing the paper's evaluation.
+// the fingerprint cache, strategy factories, tree construction, the
+// discovery loop, dataset generators and the experiment harness reproducing
+// the paper's evaluation.
 package setdiscovery
 
 import (
@@ -31,6 +43,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"setdiscovery/internal/cost"
@@ -52,9 +66,47 @@ const (
 )
 
 // Collection is an immutable collection of uniquely-named, unique sets of
-// string entities — the closed search space of set discovery.
+// string entities — the closed search space of set discovery. It is safe
+// for concurrent use: any number of goroutines may run Discover,
+// DiscoverWithTree, BuildTree and the read accessors over one shared
+// instance. Sessions with equal strategy options share a lookahead cache,
+// so concurrent and repeated discoveries amortise each other's work.
 type Collection struct {
 	c *dataset.Collection
+
+	// factories caches one strategy factory per distinct strategy
+	// configuration, so every session and build over this collection with
+	// the same options shares that factory's fingerprint caches.
+	mu        sync.Mutex
+	factories map[strategyKey]strategy.Factory
+}
+
+// strategyKey identifies a strategy configuration; options that do not
+// affect entity selection (batching, halting, backtracking) are excluded.
+type strategyKey struct {
+	name   string
+	metric Metric
+	k, q   int
+}
+
+// factory returns the shared strategy factory for cfg, creating it on first
+// use.
+func (c *Collection) factory(cfg config) (strategy.Factory, error) {
+	key := strategyKey{strings.ToLower(cfg.strategyName), cfg.metric, cfg.k, cfg.q}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.factories[key]; ok {
+		return f, nil
+	}
+	f, err := strategy.New(cfg.strategyName, cfg.metric, cfg.k, cfg.q)
+	if err != nil {
+		return nil, err
+	}
+	if c.factories == nil {
+		c.factories = make(map[strategyKey]strategy.Factory)
+	}
+	c.factories[key] = f
+	return f, nil
 }
 
 // NewCollection builds a collection from named element lists. Set names
@@ -131,6 +183,7 @@ type config struct {
 	k, q         int
 	maxQuestions int
 	batchSize    int
+	parallelism  int
 	backtrack    bool
 	confirm      bool
 }
@@ -171,28 +224,34 @@ func WithBacktracking() Option {
 	return func(c *config) { c.backtrack = true; c.confirm = true }
 }
 
-func (c config) build() (strategy.Strategy, error) {
-	return strategy.New(c.strategyName, c.metric, c.k, c.q)
-}
+// WithParallelism bounds the worker pool of BuildTree at n goroutines
+// (default GOMAXPROCS; 1 forces the sequential build). The built tree is
+// identical for every n. Discovery ignores the option — an interactive
+// session asks one question at a time.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
-// Tree is a constructed decision tree over a collection.
+// Tree is a constructed decision tree over a collection. It is immutable
+// and safe for concurrent use: any number of goroutines may walk one shared
+// Tree via DiscoverWithTree or the read accessors.
 type Tree struct {
 	t *tree.Tree
 	c *Collection
 }
 
 // BuildTree constructs a decision tree for the whole collection offline
-// (Algorithm 3), for static collections queried repeatedly.
+// (Algorithm 3), for static collections queried repeatedly. Construction
+// runs on a bounded worker pool (WithParallelism, default GOMAXPROCS) and
+// is deterministic: every parallelism level yields the same tree.
 func (c *Collection) BuildTree(opts ...Option) (*Tree, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sel, err := cfg.build()
+	f, err := c.factory(cfg)
 	if err != nil {
 		return nil, err
 	}
-	t, err := tree.Build(c.c.All(), sel)
+	t, err := tree.Build(c.c.All(), f, tree.WithParallelism(cfg.parallelism))
 	if err != nil {
 		return nil, err
 	}
@@ -332,10 +391,14 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 	for _, o := range opts {
 		o(&cfg)
 	}
-	sel, err := cfg.build()
+	f, err := c.factory(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// Each session owns a strategy instance; instances from one factory
+	// share the concurrency-safe lookahead cache, so concurrent sessions
+	// are race-free yet amortise each other's selection work.
+	sel := f.New()
 	init := make([]dataset.Entity, 0, len(initial))
 	for _, s := range initial {
 		id, ok := c.c.Dict().Lookup(s)
