@@ -1,0 +1,160 @@
+// Command setdiscd serves interactive set discovery over HTTP: collections
+// are registered at startup, and remote clients resolve their target set
+// through create-session / get-question / post-answer round-trips (the
+// serving inversion of cmd/setdisc's terminal loop).
+//
+// Usage:
+//
+//	setdiscd -collection sets.txt [-collection name=other.txt ...]
+//	         [-addr :8080] [-ttl 30m] [-max-sessions 16384]
+//	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
+//
+// Each -collection flag registers one collection; "name=path" sets the
+// registered name explicitly, a bare path uses the file's base name without
+// extension. With -prebuild a decision tree is constructed per collection
+// at startup (using -strategy/-k/-q/-metric) and registered for tree-walk
+// sessions, trading startup time for constant per-question serving cost.
+//
+// Example session against the paper's running example:
+//
+//	setdiscd -collection paper=testdata/paper.txt &
+//	curl -s -X POST localhost:8080/v1/collections/paper/sessions \
+//	     -d '{"initial":["b"]}'               # -> {"session_id":"...","entity":"c",...}
+//	curl -s -X POST localhost:8080/v1/sessions/$ID/answer -d '{"answer":"yes"}'
+//	...                                       # until "done":true
+//	curl -s localhost:8080/v1/sessions/$ID/result
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"setdiscovery"
+	"setdiscovery/internal/server"
+)
+
+// collectionFlags collects repeated -collection values.
+type collectionFlags []string
+
+func (f *collectionFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *collectionFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var collections collectionFlags
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		ttl          = flag.Duration("ttl", server.DefaultTTL, "idle session lifetime")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions")
+		prebuild     = flag.Bool("prebuild", false, "build and register a decision tree per collection at startup")
+		strategyName = flag.String("strategy", "klp", "entity selection strategy for -prebuild trees")
+		k            = flag.Int("k", 2, "lookahead steps for -prebuild trees")
+		q            = flag.Int("q", 10, "candidate entities per step (klple/klplve)")
+		metricName   = flag.String("metric", "ad", "cost metric for -prebuild trees: ad or h")
+		parallel     = flag.Int("parallel", 0, "tree construction workers (0 = GOMAXPROCS)")
+	)
+	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
+	flag.Parse()
+	if len(collections) == 0 {
+		fmt.Fprintln(os.Stderr, "setdiscd: at least one -collection is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "setdiscd: ", log.LstdFlags)
+	srv := server.New(
+		server.WithTTL(*ttl),
+		server.WithMaxSessions(*maxSessions),
+		server.WithLogf(logger.Printf),
+	)
+
+	metric := setdiscovery.AverageDepth
+	if strings.EqualFold(*metricName, "h") {
+		metric = setdiscovery.Height
+	}
+	buildOpts := []setdiscovery.Option{
+		setdiscovery.WithStrategy(*strategyName),
+		setdiscovery.WithK(*k),
+		setdiscovery.WithQ(*q),
+		setdiscovery.WithMetric(metric),
+		setdiscovery.WithParallelism(*parallel),
+	}
+
+	for _, spec := range collections {
+		name, path := splitSpec(spec)
+		c, err := readCollection(path)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := srv.Register(name, c); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("registered collection %q: %d sets from %s", name, c.Len(), path)
+		if *prebuild {
+			start := time.Now()
+			tr, err := c.BuildTree(buildOpts...)
+			if err != nil {
+				logger.Fatalf("building tree for %q: %v", name, err)
+			}
+			if err := srv.RegisterTree(name, tr); err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("prebuilt tree for %q in %v (avg %.2f questions, worst case %d)",
+				name, time.Since(start).Round(time.Millisecond), tr.AvgDepth(), tr.Height())
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		logger.Printf("serving on %s (session ttl %v, max %d sessions)", *addr, *ttl, *maxSessions)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+}
+
+// splitSpec parses a -collection value: "name=path" or a bare path whose
+// base name (without extension) becomes the registered name.
+func splitSpec(spec string) (name, path string) {
+	if i := strings.IndexByte(spec, '='); i > 0 {
+		return spec[:i], spec[i+1:]
+	}
+	base := filepath.Base(spec)
+	return strings.TrimSuffix(base, filepath.Ext(base)), spec
+}
+
+func readCollection(path string) (*setdiscovery.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return setdiscovery.ReadCollection(f)
+}

@@ -21,6 +21,7 @@ package cache
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Key identifies one memoised computation: the sub-collection fingerprint
@@ -35,17 +36,42 @@ const (
 	shardCount = 1 << shardBits // 64 shards
 )
 
-// shard is one mutex-striped segment of the table. The fields total 48
-// bytes (24 RWMutex + 8 map header + 2×8 counters); the pad rounds the
-// shard up to exactly one 64-byte cache line so neighbouring shards' hot
-// mutex and counter words never false-share.
-type shard[V any] struct {
+// cacheLine is the assumed coherence-granule size; 64 bytes on every
+// platform this project targets.
+const cacheLine = 64
+
+// shardFields holds the live state of one mutex-striped segment of the
+// table. It is split from shard so the padding below can be derived from
+// its size instead of being hand-computed.
+type shardFields[V any] struct {
 	mu     sync.RWMutex
 	m      map[Key]V
 	hits   atomic.Int64
 	misses atomic.Int64
-	_      [64 - 48]byte
 }
+
+// shard pads shardFields up to the next whole multiple of the cache line so
+// neighbouring shards' hot mutex and counter words never false-share. The
+// pad length is computed from unsafe.Sizeof, so it stays correct if the
+// layout of sync.RWMutex or the map header changes across Go versions —
+// unlike the previous hand-computed "[64 - 48]byte". Rounding to the NEXT
+// multiple keeps the pad non-zero even if the fields ever grow to an exact
+// line multiple (a trailing zero-size field would re-introduce sharing of
+// the adjacent shard's first word through the final line and change the
+// struct's size rules). shardFields' size does not depend on V (the map is
+// one word), so sizing the pad off the struct{} instantiation is exact; the
+// compile-time assertion below and TestShardCacheLineAlignment enforce both
+// properties.
+type shard[V any] struct {
+	shardFields[V]
+	_ [(unsafe.Sizeof(shardFields[struct{}]{})/cacheLine+1)*cacheLine - unsafe.Sizeof(shardFields[struct{}]{})]byte
+}
+
+// Compile-time assertion: a shard is a whole number of cache lines. The
+// expression is a constant; negating a non-zero uintptr constant does not
+// compile, so any mis-sizing breaks the build here rather than silently
+// degrading throughput.
+const _ = -(unsafe.Sizeof(shard[struct{}]{}) % cacheLine)
 
 // Cache is a sharded, mutex-striped fingerprint-keyed memo table. The zero
 // value is not usable; construct with New. All methods are safe for

@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestShardCacheLineAlignment pins the properties the false-sharing pad
+// relies on, whatever Go version builds the package: a shard occupies a
+// whole number of cache lines, the pad never collapses to zero (a trailing
+// zero-size field would change the layout rules), and the shard size does
+// not depend on the value type parameter.
+func TestShardCacheLineAlignment(t *testing.T) {
+	if s := unsafe.Sizeof(shard[int]{}); s%cacheLine != 0 {
+		t.Errorf("sizeof(shard) = %d, not a multiple of the %d-byte cache line", s, cacheLine)
+	}
+	if f, s := unsafe.Sizeof(shardFields[int]{}), unsafe.Sizeof(shard[int]{}); s <= f {
+		t.Errorf("pad collapsed: shard %d bytes <= fields %d bytes", s, f)
+	}
+	if a, b := unsafe.Sizeof(shard[struct{}]{}), unsafe.Sizeof(shard[[4]uint64]{}); a != b {
+		t.Errorf("shard size varies with value type: %d vs %d", a, b)
+	}
+	// The array of shards must keep every shard line-aligned relative to
+	// the first; a line-multiple stride guarantees that.
+	var c Cache[int]
+	stride := uintptr(unsafe.Pointer(&c.shards[1])) - uintptr(unsafe.Pointer(&c.shards[0]))
+	if stride%cacheLine != 0 {
+		t.Errorf("adjacent shards %d bytes apart, not line-aligned", stride)
+	}
+	if stride == 0 {
+		t.Error("shard stride is zero")
+	}
+}

@@ -216,96 +216,42 @@ type trailEntry struct {
 // then ask strategy-selected membership questions until one candidate
 // remains, the halt condition fires, or the informative entities are
 // exhausted by "don't know" replies.
+//
+// Run is the synchronous driver over the resumable Session: it pumps the
+// session's pending questions into the Oracle until the session is done.
+// Callers that cannot block on an oracle callback (a serving layer, a
+// message-driven UI) use Session directly.
 func Run(c *dataset.Collection, initial []dataset.Entity, o Oracle, opts Options) (*Result, error) {
-	if opts.Strategy == nil {
-		return nil, errors.New("discovery: Options.Strategy is required")
+	confirmer, canConfirm := o.(Confirmer)
+	if opts.ConfirmTarget && !canConfirm {
+		// An oracle without confirmation support skips the §6 confirmation
+		// step entirely (it is not counted as a question).
+		opts.ConfirmTarget = false
 	}
-	if opts.Backtrack && opts.MaxBacktracks == 0 {
-		opts.MaxBacktracks = 64
+	s, err := NewSession(c, initial, opts)
+	if err != nil {
+		return nil, err
 	}
-	// Lines 1–4: candidate sets are the supersets of the initial examples.
-	cs := c.SupersetsOf(initial)
-	if cs.Size() == 0 {
-		return &Result{Candidates: cs}, ErrNoCandidates
-	}
-
-	res := &Result{Candidates: cs}
-	excluded := make(map[dataset.Entity]bool)
-	var trail []trailEntry
-
-	for {
-		// Lines 5–12: the interaction loop.
-		for cs.Size() > 1 {
-			if opts.MaxQuestions > 0 && res.Questions >= opts.MaxQuestions {
-				break
+	for !s.Done() {
+		if set, ok := s.PendingConfirm(); ok {
+			a := No
+			if confirmer.Confirm(set) {
+				a = Yes
 			}
-			entities, ok := selectBatch(cs, opts, excluded, res)
-			if !ok {
-				break // every informative entity was answered "don't know"
+			if err := s.Answer(a); err != nil {
+				return nil, err
 			}
-			res.Interactions++
-			contradiction := false
-			for _, e := range entities {
-				if cs.Size() <= 1 {
-					break
-				}
-				a := o.Answer(e)
-				res.Questions++
-				res.Asked = append(res.Asked, Question{e, a})
-				switch a {
-				case Unknown:
-					res.Unknowns++
-					excluded[e] = true
-					continue
-				case Yes, No:
-					trail = append(trail, trailEntry{before: cs, entity: e, answer: a})
-					cs = apply(cs, e, a)
-					if cs.Size() == 0 {
-						// Only reachable in batch mode: a later question of
-						// the batch may be uninformative for the already
-						// narrowed candidates.
-						contradiction = true
-					}
-				}
-				if contradiction {
-					break
-				}
-			}
-			if contradiction {
-				var err error
-				cs, trail, err = backtrack(trail, opts, res)
-				if err != nil {
-					res.Candidates = c.SubsetOf(nil)
-					return res, err
-				}
-			}
+			continue
 		}
-
-		// Final confirmation (§6 error recovery trigger): a rejected result
-		// means some earlier answer was wrong; flip and resume.
-		if cs.Size() == 1 && opts.ConfirmTarget {
-			if confirmer, ok := o.(Confirmer); ok {
-				res.Questions++
-				res.Interactions++
-				if !confirmer.Confirm(cs.Single()) {
-					var err error
-					cs, trail, err = backtrack(trail, opts, res)
-					if err != nil {
-						res.Candidates = c.SubsetOf(nil)
-						return res, err
-					}
-					continue
-				}
-			}
+		e, done := s.Next()
+		if done {
+			break
 		}
-		break
+		if err := s.Answer(o.Answer(e)); err != nil {
+			return nil, err
+		}
 	}
-
-	res.Candidates = cs
-	if cs.Size() == 1 {
-		res.Target = cs.Single()
-	}
-	return res, nil
+	return s.Result()
 }
 
 // apply narrows the candidates by one answered question (lines 8–12).

@@ -1,8 +1,6 @@
 package discovery
 
 import (
-	"time"
-
 	"setdiscovery/internal/dataset"
 	"setdiscovery/internal/tree"
 )
@@ -15,31 +13,21 @@ import (
 //
 // "Don't know" answers cannot be rerouted in a fixed tree; the walk stops
 // and the result holds every set under the current node as candidates.
+//
+// FollowTree is the synchronous driver over TreeSession, as Run is over
+// Session.
 func FollowTree(c *dataset.Collection, t *tree.Tree, o Oracle) (*Result, error) {
-	start := time.Now()
-	res := &Result{}
-	n := t.Root
-	for !n.Leaf() {
-		a := o.Answer(n.Entity)
-		res.Questions++
-		res.Interactions++
-		res.Asked = append(res.Asked, Question{n.Entity, a})
-		switch a {
-		case Yes:
-			n = n.Yes
-		case No:
-			n = n.No
-		default:
-			res.Unknowns++
-			res.Candidates = c.SubsetOf(leavesUnder(n))
-			res.SelectionTime = time.Since(start)
-			return res, nil
+	s := NewTreeSession(c, t)
+	for {
+		e, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(o.Answer(e)); err != nil {
+			return nil, err
 		}
 	}
-	res.Candidates = c.SubsetOf([]uint32{uint32(n.Set.Index)})
-	res.Target = n.Set
-	res.SelectionTime = time.Since(start)
-	return res, nil
+	return s.Result()
 }
 
 // leavesUnder returns the set indexes of all leaves below n.

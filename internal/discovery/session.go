@@ -1,0 +1,360 @@
+package discovery
+
+import (
+	"errors"
+	"time"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/tree"
+)
+
+// ErrSessionDone is returned by Session.Answer and TreeSession.Answer when
+// the session has finished and no question is pending.
+var ErrSessionDone = errors.New("discovery: session is done; no pending question")
+
+// ErrInvalidAnswer is returned by Answer for values outside Yes/No/Unknown.
+var ErrInvalidAnswer = errors.New("discovery: invalid answer")
+
+// sessionState is the resumption point of a Session between interactions.
+type sessionState int
+
+const (
+	// stateAsk: a membership question (Session.pending) awaits an answer.
+	stateAsk sessionState = iota
+	// stateConfirm: a candidate set (Session.confirm) awaits confirmation.
+	stateConfirm
+	// stateDone: the session has finished; Result holds the outcome.
+	stateDone
+)
+
+// Session is the step-wise inversion of Run's oracle-driven loop: instead of
+// calling an Oracle synchronously, it suspends at every question so the
+// answer can arrive over any transport — a terminal prompt, an HTTP
+// round-trip, a message queue. The protocol is
+//
+//	for {
+//	    if set, ok := s.PendingConfirm(); ok { s.Answer(yesOrNo) ; continue }
+//	    e, done := s.Next()
+//	    if done { break }
+//	    s.Answer(answerFor(e))
+//	}
+//	res, err := s.Result()
+//
+// A Session asks exactly the questions Run asks for the same collection,
+// initial examples and options, in the same order — Run is implemented on
+// top of Session, and the equivalence is test-enforced. Confirmation
+// questions (Options.ConfirmTarget) surface through PendingConfirm; sessions
+// without that option never enter the confirming state.
+//
+// A Session is a single-user object: calls on one Session must be
+// externally serialised. Many Sessions may run concurrently over one shared
+// collection; give each its own Strategy instance from a shared factory so
+// they amortise each other's lookahead work (see Options.Strategy).
+type Session struct {
+	c    *dataset.Collection
+	opts Options
+	res  *Result
+
+	cs       *dataset.Subset
+	excluded map[dataset.Entity]bool
+	trail    []trailEntry
+
+	// batch holds the not-yet-asked entities of the in-flight interaction;
+	// inBatch distinguishes "between interactions" from "mid-interaction"
+	// so that the per-interaction bookkeeping of Run (MaxQuestions is
+	// checked per batch, not per question) is preserved exactly.
+	batch         []dataset.Entity
+	inBatch       bool
+	contradiction bool
+
+	state   sessionState
+	pending dataset.Entity
+	confirm *dataset.Set
+	err     error
+}
+
+// NewSession starts a discovery session: filter the collection to supersets
+// of the initial examples and suspend before the first question. The only
+// construction error is a missing strategy; an initial example set contained
+// in no candidate yields a session that is immediately Done with
+// ErrNoCandidates from Result, mirroring Run's result-plus-error return.
+func NewSession(c *dataset.Collection, initial []dataset.Entity, opts Options) (*Session, error) {
+	if opts.Strategy == nil {
+		return nil, errors.New("discovery: Options.Strategy is required")
+	}
+	if opts.Backtrack && opts.MaxBacktracks == 0 {
+		opts.MaxBacktracks = 64
+	}
+	// Lines 1–4 of Algorithm 2: candidates are supersets of the examples.
+	cs := c.SupersetsOf(initial)
+	s := &Session{
+		c:        c,
+		opts:     opts,
+		res:      &Result{Candidates: cs},
+		cs:       cs,
+		excluded: make(map[dataset.Entity]bool),
+	}
+	if cs.Size() == 0 {
+		s.finish(ErrNoCandidates)
+		return s, nil
+	}
+	s.advance()
+	return s, nil
+}
+
+// Next returns the entity of the pending membership question; done is true
+// once the session has finished. Next does not advance the session — it may
+// be called any number of times (e.g. by a client re-fetching its question)
+// and keeps returning the same entity until Answer is called. When the
+// session is waiting for a confirmation instead of a membership answer,
+// Next returns (0, false) and PendingConfirm reports the candidate.
+func (s *Session) Next() (dataset.Entity, bool) {
+	if s.state == stateDone {
+		return 0, true
+	}
+	if s.state == stateConfirm {
+		return 0, false
+	}
+	return s.pending, false
+}
+
+// PendingConfirm reports whether the session is waiting for the user to
+// confirm the returned candidate as their target (§6 error recovery:
+// Options.ConfirmTarget). Answer(Yes) accepts it and finishes the session;
+// any other answer rejects it and triggers backtracking.
+func (s *Session) PendingConfirm() (*dataset.Set, bool) {
+	if s.state == stateConfirm {
+		return s.confirm, true
+	}
+	return nil, false
+}
+
+// Done reports whether the session has finished (uniquely discovered
+// target, halt condition, exhausted questions, or terminal error).
+func (s *Session) Done() bool { return s.state == stateDone }
+
+// Answer applies the user's reply to the pending question and advances the
+// session to its next suspension point. It returns ErrSessionDone when no
+// question is pending and ErrInvalidAnswer for out-of-range values; terminal
+// discovery errors (ErrNoCandidates, ErrContradiction) are reported by
+// Result, exactly as Run reports them.
+func (s *Session) Answer(a Answer) error {
+	switch s.state {
+	case stateConfirm:
+		if a != Yes && a != No && a != Unknown {
+			return ErrInvalidAnswer
+		}
+		s.confirm = nil
+		if a == Yes {
+			s.finish(nil)
+			return nil
+		}
+		// Rejection (a "don't know" about one's own set counts as one):
+		// some earlier answer was wrong — flip and resume.
+		cs, trail, err := backtrack(s.trail, s.opts, s.res)
+		if err != nil {
+			s.finish(err)
+			return nil
+		}
+		s.cs, s.trail = cs, trail
+		s.advance()
+		return nil
+	case stateAsk:
+		if a != Yes && a != No && a != Unknown {
+			return ErrInvalidAnswer
+		}
+		e := s.pending
+		s.res.Questions++
+		s.res.Asked = append(s.res.Asked, Question{e, a})
+		switch a {
+		case Unknown:
+			s.res.Unknowns++
+			s.excluded[e] = true
+		case Yes, No:
+			s.trail = append(s.trail, trailEntry{before: s.cs, entity: e, answer: a})
+			s.cs = apply(s.cs, e, a)
+			if s.cs.Size() == 0 {
+				// Only reachable in batch mode: a later question of the
+				// batch may contradict the already narrowed candidates.
+				// Abandon the rest of the batch, recover in advance().
+				s.contradiction = true
+				s.batch = nil
+			}
+		}
+		s.advance()
+		return nil
+	default:
+		return ErrSessionDone
+	}
+}
+
+// advance runs the deterministic part of Algorithm 2 until the next point
+// where a user answer is needed (stateAsk or stateConfirm) or the session
+// finishes. It mirrors Run's control flow: continue the in-flight batch,
+// recover from contradictions, select the next interaction, ask for final
+// confirmation.
+func (s *Session) advance() {
+	for {
+		if s.inBatch {
+			// Mid-interaction: ask the next batch entity while several
+			// candidates remain (Run checks cs.Size() before each batch
+			// question but MaxQuestions only per interaction).
+			if s.cs.Size() > 1 && len(s.batch) > 0 {
+				s.pending = s.batch[0]
+				s.batch = s.batch[1:]
+				s.state = stateAsk
+				return
+			}
+			s.inBatch = false
+			if s.contradiction {
+				s.contradiction = false
+				cs, trail, err := backtrack(s.trail, s.opts, s.res)
+				if err != nil {
+					s.finish(err)
+					return
+				}
+				s.cs, s.trail = cs, trail
+			}
+		}
+		if s.cs.Size() > 1 && !(s.opts.MaxQuestions > 0 && s.res.Questions >= s.opts.MaxQuestions) {
+			entities, ok := selectBatch(s.cs, s.opts, s.excluded, s.res)
+			if ok {
+				s.res.Interactions++
+				s.batch = entities
+				s.inBatch = true
+				continue
+			}
+			// Every informative entity was answered "don't know": halt.
+		}
+		if s.cs.Size() == 1 && s.opts.ConfirmTarget {
+			// Counted before the reply arrives, matching Run.
+			s.res.Questions++
+			s.res.Interactions++
+			s.confirm = s.cs.Single()
+			s.state = stateConfirm
+			return
+		}
+		s.finish(nil)
+		return
+	}
+}
+
+// finish moves the session to its terminal state.
+func (s *Session) finish(err error) {
+	s.state = stateDone
+	s.err = err
+	switch {
+	case err == nil:
+		s.res.Candidates = s.cs
+		if s.cs.Size() == 1 {
+			s.res.Target = s.cs.Single()
+		}
+	case errors.Is(err, ErrNoCandidates):
+		s.res.Candidates = s.cs
+	default: // contradiction: every candidate was ruled out
+		s.res.Candidates = s.c.SubsetOf(nil)
+	}
+}
+
+// Result returns the session outcome. Once Done it is exactly what Run
+// would have returned (including a nil-error Result paired with
+// ErrNoCandidates or ErrContradiction). Before Done it is a progress
+// snapshot: candidates narrowed so far, questions asked, no Target.
+func (s *Session) Result() (*Result, error) {
+	if s.state == stateDone {
+		return s.res, s.err
+	}
+	r := *s.res
+	r.Candidates = s.cs
+	return &r, nil
+}
+
+// TreeSession is the step-wise counterpart of FollowTree: a resumable walk
+// down a prebuilt decision tree. Each answer descends one branch, so the
+// per-question cost is constant — the cheapest session kind to serve.
+// "Don't know" stops the walk with the remaining subtree as candidates.
+// Like Session, a TreeSession is single-user; the shared Tree itself is
+// immutable and serves any number of concurrent sessions.
+type TreeSession struct {
+	c    *dataset.Collection
+	n    *tree.Node
+	res  *Result
+	done bool
+}
+
+// NewTreeSession starts a walk at the root of t.
+func NewTreeSession(c *dataset.Collection, t *tree.Tree) *TreeSession {
+	s := &TreeSession{c: c, n: t.Root, res: &Result{}}
+	s.settle()
+	return s
+}
+
+// Next returns the pending membership question, or done once the walk has
+// reached a leaf or was stopped by an Unknown answer. Like Session.Next it
+// is idempotent.
+func (s *TreeSession) Next() (dataset.Entity, bool) {
+	if s.done {
+		return 0, true
+	}
+	return s.n.Entity, false
+}
+
+// PendingConfirm always reports false: a fixed tree has no confirmation
+// step. It exists so Session and TreeSession satisfy one driver interface.
+func (s *TreeSession) PendingConfirm() (*dataset.Set, bool) { return nil, false }
+
+// Done reports whether the walk has finished.
+func (s *TreeSession) Done() bool { return s.done }
+
+// Answer applies the reply to the pending question and descends the tree.
+func (s *TreeSession) Answer(a Answer) error {
+	if s.done {
+		return ErrSessionDone
+	}
+	if a != Yes && a != No && a != Unknown {
+		return ErrInvalidAnswer
+	}
+	// Branch following is the entire selection cost of a prebuilt tree;
+	// unlike the original FollowTree the user's thinking time between
+	// questions is not on the clock, matching Run's accounting.
+	start := time.Now()
+	defer func() { s.res.SelectionTime += time.Since(start) }()
+	s.res.Questions++
+	s.res.Interactions++
+	s.res.Asked = append(s.res.Asked, Question{s.n.Entity, a})
+	switch a {
+	case Yes:
+		s.n = s.n.Yes
+	case No:
+		s.n = s.n.No
+	default:
+		// A fixed tree cannot reroute around an unanswerable question; the
+		// sets below the current node remain as candidates.
+		s.res.Unknowns++
+		s.res.Candidates = s.c.SubsetOf(leavesUnder(s.n))
+		s.done = true
+	}
+	s.settle()
+	return nil
+}
+
+// settle finishes the walk when the current node is a leaf.
+func (s *TreeSession) settle() {
+	if s.done || !s.n.Leaf() {
+		return
+	}
+	s.res.Candidates = s.c.SubsetOf([]uint32{uint32(s.n.Set.Index)})
+	s.res.Target = s.n.Set
+	s.done = true
+}
+
+// Result returns the walk outcome; before Done it is a snapshot whose
+// candidates are the sets below the current node.
+func (s *TreeSession) Result() (*Result, error) {
+	if s.done {
+		return s.res, nil
+	}
+	r := *s.res
+	r.Candidates = s.c.SubsetOf(leavesUnder(s.n))
+	return &r, nil
+}

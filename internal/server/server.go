@@ -1,0 +1,367 @@
+// Package server is the HTTP serving layer over resumable discovery
+// sessions: the ROADMAP's step from a library whose Algorithm 2 loop calls
+// an oracle function to a service whose question/answer round-trips cross a
+// network boundary.
+//
+// A Server holds a registry of named collections (each optionally paired
+// with a prebuilt decision tree) and a TTL-bounded store of live sessions
+// keyed by opaque IDs. The JSON protocol (see wire.go):
+//
+//	GET    /v1/collections                            list collections
+//	POST   /v1/collections/{collection}/sessions      create a session
+//	GET    /v1/sessions/{id}/question                 re-fetch the question
+//	POST   /v1/sessions/{id}/answer                   answer, get next question
+//	GET    /v1/sessions/{id}/result                   outcome / progress
+//	DELETE /v1/sessions/{id}                          end a session early
+//
+// Everything scales with PR 1's concurrency model: collections and trees
+// are immutable and shared, sessions with equal options draw strategies
+// from one per-collection factory so concurrent users amortise lookahead
+// work, and each session carries its own lock so one slow client never
+// blocks another's round-trips.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"setdiscovery"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithTTL sets the idle session lifetime (default DefaultTTL).
+func WithTTL(d time.Duration) Option { return func(s *Server) { s.ttl = d } }
+
+// WithMaxSessions bounds the live-session count (default
+// DefaultMaxSessions).
+func WithMaxSessions(n int) Option { return func(s *Server) { s.maxSessions = n } }
+
+// WithLogf routes request-error logging (default: discarded).
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = f }
+}
+
+// collectionEntry pairs a registered collection with its optional prebuilt
+// tree.
+type collectionEntry struct {
+	c    *setdiscovery.Collection
+	tree *setdiscovery.Tree
+}
+
+// Server serves interactive set discovery over HTTP. Construct with New,
+// Register collections (and optionally trees) before serving; all handler
+// methods are safe for concurrent use.
+type Server struct {
+	mu          sync.RWMutex
+	collections map[string]*collectionEntry
+
+	store       *Store
+	ttl         time.Duration
+	maxSessions int
+	logf        func(format string, args ...any)
+}
+
+// New builds an empty server.
+func New(opts ...Option) *Server {
+	s := &Server{
+		collections: make(map[string]*collectionEntry),
+		logf:        func(string, ...any) {},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.store = NewStore(s.ttl, s.maxSessions)
+	return s
+}
+
+// Register adds a collection under the given name.
+func (s *Server) Register(name string, c *setdiscovery.Collection) error {
+	if name == "" || c == nil {
+		return errors.New("server: Register needs a name and a collection")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; ok {
+		return fmt.Errorf("server: collection %q already registered", name)
+	}
+	s.collections[name] = &collectionEntry{c: c}
+	return nil
+}
+
+// RegisterTree attaches a prebuilt decision tree to the named registered
+// collection, enabling tree-walk sessions (CreateSessionRequest.Tree). The
+// tree must have been built over that same collection.
+func (s *Server) RegisterTree(name string, t *setdiscovery.Tree) error {
+	if t == nil {
+		return errors.New("server: RegisterTree needs a tree")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.collections[name]
+	if !ok {
+		return fmt.Errorf("server: no collection %q registered", name)
+	}
+	if t.Collection() != e.c {
+		return fmt.Errorf("server: tree was not built over collection %q", name)
+	}
+	e.tree = t
+	return nil
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int { return s.store.Len() }
+
+// Handler returns the HTTP handler serving the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
+	mux.HandleFunc("POST /v1/collections/{collection}/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/question", s.handleGetQuestion)
+	mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleGetResult)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]CollectionInfo, 0, len(s.collections))
+	for name, e := range s.collections {
+		out = append(out, CollectionInfo{Name: name, Sets: e.c.Len(), Tree: e.tree != nil})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("collection")
+	s.mu.RLock()
+	e, ok := s.collections[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
+		return
+	}
+	var req CreateSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := newSessionFrom(e, &req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.store.Put(&Stored{Session: sess, Collection: name})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrStoreFull) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, questionSnapshot(id, sess))
+}
+
+// newSessionFrom builds the requested kind of session over e.
+func newSessionFrom(e *collectionEntry, req *CreateSessionRequest) (*setdiscovery.Session, error) {
+	if req.Tree {
+		if e.tree == nil {
+			return nil, errors.New("collection has no prebuilt tree")
+		}
+		if len(req.Initial) > 0 {
+			return nil, errors.New("tree sessions start at the root and take no initial examples")
+		}
+		return e.tree.NewSession(), nil
+	}
+	var opts []setdiscovery.Option
+	if req.Strategy != "" {
+		opts = append(opts, setdiscovery.WithStrategy(req.Strategy))
+	}
+	if req.K > 0 {
+		opts = append(opts, setdiscovery.WithK(req.K))
+	}
+	if req.Q > 0 {
+		opts = append(opts, setdiscovery.WithQ(req.Q))
+	}
+	switch strings.ToLower(req.Metric) {
+	case "", "ad":
+	case "h":
+		opts = append(opts, setdiscovery.WithMetric(setdiscovery.Height))
+	default:
+		return nil, fmt.Errorf("unknown metric %q (want \"ad\" or \"h\")", req.Metric)
+	}
+	if req.MaxQuestions > 0 {
+		opts = append(opts, setdiscovery.WithMaxQuestions(req.MaxQuestions))
+	}
+	if req.BatchSize > 1 {
+		opts = append(opts, setdiscovery.WithBatchSize(req.BatchSize))
+	}
+	if req.Backtrack {
+		opts = append(opts, setdiscovery.WithBacktracking())
+	}
+	return e.c.NewSession(req.Initial, opts...)
+}
+
+func (s *Server) handleGetQuestion(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	st.Mu.Lock()
+	resp := questionSnapshot(id, st.Session)
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req AnswerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := parseAnswer(req.Answer)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st.Mu.Lock()
+	if req.Entity != "" || req.Confirm != "" {
+		q, done := st.Session.Next()
+		if done || q.Entity != req.Entity || q.Confirm != req.Confirm {
+			st.Mu.Unlock()
+			s.writeError(w, http.StatusConflict, fmt.Errorf(
+				"answer names question {entity:%q confirm:%q} but the pending question is {entity:%q confirm:%q}: it was likely already answered",
+				req.Entity, req.Confirm, q.Entity, q.Confirm))
+			return
+		}
+	}
+	err = st.Session.Answer(a)
+	resp := questionSnapshot(id, st.Session)
+	st.Mu.Unlock()
+	if err != nil {
+		// The only Answer errors are protocol misuse: answering a finished
+		// session (or racing another client for the same question).
+		s.writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	st.Mu.Lock()
+	done := st.Session.Done()
+	res, err := st.Session.Result()
+	st.Mu.Unlock()
+	resp := ResultResponse{SessionID: id, Done: done}
+	if err != nil {
+		// A terminal discovery failure (contradiction with backtracking off
+		// or exhausted) is a session outcome, not a transport error.
+		resp.Error = err.Error()
+	} else {
+		resp.Target = res.Target
+		resp.Candidates = res.Candidates
+		resp.Questions = res.Questions
+		resp.Interactions = res.Interactions
+		resp.Backtracks = res.Backtracks
+		resp.SelectionTimeUS = res.SelectionTime.Microseconds()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	s.store.Delete(r.PathValue("id"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// session resolves the request's session ID, writing a 404 on failure.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Stored, bool) {
+	id := r.PathValue("id")
+	st, ok := s.store.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("unknown or expired session"))
+		return id, nil, false
+	}
+	return id, st, true
+}
+
+// questionSnapshot renders the session's pending interaction. Callers hold
+// the session lock.
+func questionSnapshot(id string, sess *setdiscovery.Session) QuestionResponse {
+	resp := QuestionResponse{SessionID: id}
+	q, done := sess.Next()
+	resp.Done = done
+	resp.Entity = q.Entity
+	resp.Confirm = q.Confirm
+	resp.Questions = sess.Questions()
+	return resp
+}
+
+// parseAnswer maps the wire answer to the engine's.
+func parseAnswer(s string) (setdiscovery.Answer, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "yes", "y":
+		return setdiscovery.Yes, nil
+	case "no", "n":
+		return setdiscovery.No, nil
+	case "unknown", "?", "dk", "dont know", "don't know":
+		return setdiscovery.Unknown, nil
+	default:
+		return 0, fmt.Errorf("invalid answer %q (want \"yes\", \"no\" or \"unknown\")", s)
+	}
+}
+
+// maxBodyBytes bounds request bodies; create/answer requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses the request body into v. An empty body decodes to the
+// zero value, so POSTs with all-default parameters need no body at all.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.logf("server: %v", err)
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

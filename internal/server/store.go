@@ -1,0 +1,157 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"setdiscovery"
+)
+
+// DefaultTTL is the idle lifetime of a session: every touch (question
+// fetch, answer, result) slides the deadline forward by the TTL.
+const DefaultTTL = 30 * time.Minute
+
+// DefaultMaxSessions bounds the number of live sessions a store accepts, so
+// an abandoning client population cannot grow the process without limit
+// before the TTL reaper catches up.
+const DefaultMaxSessions = 16384
+
+// ErrStoreFull is returned by Put when the store holds MaxSessions
+// unexpired sessions.
+var ErrStoreFull = errors.New("server: session store is full")
+
+// Stored is one live session and its per-session lock. The lock serialises
+// interactive steps: a Session is a single-user state machine, so handlers
+// lock a Stored around Next/Answer/Result while the store itself stays free
+// for other sessions' traffic.
+type Stored struct {
+	// Mu serialises all Session calls. It is exported so handlers (and
+	// tests) lock at the granularity of one question/answer exchange.
+	Mu sync.Mutex
+	// Session is the suspended discovery state machine.
+	Session *setdiscovery.Session
+	// Collection is the registered name the session was created over.
+	Collection string
+}
+
+// Store is a TTL-bounded concurrent session store keyed by opaque IDs.
+// Sessions expire after their idle TTL and are reaped lazily on every store
+// operation — a serving process needs no background janitor goroutine to
+// stay bounded, though Sweep may be called from one for promptness.
+type Store struct {
+	mu  sync.Mutex
+	m   map[string]*storedEntry
+	ttl time.Duration
+	max int
+	now func() time.Time // injectable clock for expiry tests
+}
+
+type storedEntry struct {
+	s       *Stored
+	expires time.Time
+}
+
+// NewStore builds a store with the given idle TTL and capacity; zero values
+// select DefaultTTL and DefaultMaxSessions.
+func NewStore(ttl time.Duration, maxSessions int) *Store {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	return &Store{
+		m:   make(map[string]*storedEntry),
+		ttl: ttl,
+		max: maxSessions,
+		now: time.Now,
+	}
+}
+
+// newSessionID returns a 128-bit random opaque ID. IDs are capability
+// tokens: knowing one is the only way to touch its session.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Put stores a new session and returns its ID. It fails with ErrStoreFull
+// when the store already holds its maximum of unexpired sessions.
+func (st *Store) Put(s *Stored) (string, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return "", err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	// Reap only when at capacity: Get drops expired entries it touches, so
+	// the common-case Put stays O(1) and the full sweep runs exactly when
+	// its work can admit a new session.
+	if len(st.m) >= st.max {
+		st.sweepLocked(now)
+	}
+	if len(st.m) >= st.max {
+		return "", ErrStoreFull
+	}
+	st.m[id] = &storedEntry{s: s, expires: now.Add(st.ttl)}
+	return id, nil
+}
+
+// Get returns the session for id and slides its expiry forward, or false
+// when the ID is unknown or the session has expired.
+func (st *Store) Get(id string) (*Stored, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	e, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	if now.After(e.expires) {
+		delete(st.m, id)
+		return nil, false
+	}
+	e.expires = now.Add(st.ttl)
+	return e.s, true
+}
+
+// Delete removes the session for id; deleting an absent ID is a no-op.
+func (st *Store) Delete(id string) {
+	st.mu.Lock()
+	delete(st.m, id)
+	st.mu.Unlock()
+}
+
+// Len returns the number of stored, unexpired sessions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	return len(st.m)
+}
+
+// Sweep evicts every expired session now and returns how many it removed.
+func (st *Store) Sweep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sweepLocked(st.now())
+}
+
+func (st *Store) sweepLocked(now time.Time) int {
+	n := 0
+	for id, e := range st.m {
+		if now.After(e.expires) {
+			delete(st.m, id)
+			n++
+		}
+	}
+	return n
+}

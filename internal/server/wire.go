@@ -1,0 +1,100 @@
+package server
+
+// Wire types of the JSON/HTTP serving protocol. One discovery round-trip is
+// one POST: the answer request returns the next question, so a scripted
+// client needs create + N answers + result to resolve a target.
+
+// CreateSessionRequest configures a new discovery session over a registered
+// collection (POST /v1/collections/{collection}/sessions). Zero values take
+// the engine defaults; Tree selects a walk of the collection's prebuilt
+// decision tree instead of the interactive strategy loop.
+type CreateSessionRequest struct {
+	// Initial holds the initial example entities (Algorithm 2 line 1).
+	// Must be empty for tree sessions: a prebuilt tree always starts at
+	// its root.
+	Initial []string `json:"initial,omitempty"`
+	// Strategy names the entity-selection strategy ("klp", "klple",
+	// "klplve", "infogain", "most-even", "indg", "lb1", "gaink");
+	// case-insensitive, default "klp".
+	Strategy string `json:"strategy,omitempty"`
+	// K is the lookahead depth (default 2).
+	K int `json:"k,omitempty"`
+	// Q bounds candidate entities per lookahead step for klple/klplve
+	// (default 10).
+	Q int `json:"q,omitempty"`
+	// Metric is "ad" (average questions, default) or "h" (worst case).
+	Metric string `json:"metric,omitempty"`
+	// MaxQuestions halts the session after this many questions (0 =
+	// unlimited).
+	MaxQuestions int `json:"max_questions,omitempty"`
+	// BatchSize asks several membership questions per interaction (§6
+	// multiple-choice examples).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Backtrack enables §6 error recovery: the session asks a final
+	// confirmation question and revisits earlier answers on rejection.
+	Backtrack bool `json:"backtrack,omitempty"`
+	// Tree walks the collection's prebuilt decision tree (constant
+	// per-question cost) instead of running the strategy loop.
+	Tree bool `json:"tree,omitempty"`
+}
+
+// QuestionResponse is the state of a session's pending interaction,
+// returned by create-session, get-question and post-answer. Exactly one of
+// Entity and Confirm is set while Done is false: Entity asks "is this
+// entity in your set?", Confirm asks "is this set your target?".
+type QuestionResponse struct {
+	SessionID string `json:"session_id"`
+	Done      bool   `json:"done"`
+	Entity    string `json:"entity,omitempty"`
+	Confirm   string `json:"confirm,omitempty"`
+	// Questions counts membership answers received so far (confirmation
+	// questions are counted when asked, mirroring the engine).
+	Questions int `json:"questions"`
+}
+
+// AnswerRequest replies to the pending question (POST
+// /v1/sessions/{id}/answer). Answer is "yes", "no" or "unknown" ("y", "n",
+// "?" and "dk" are accepted aliases). For a confirmation question, "yes"
+// accepts the candidate and anything else rejects it, triggering
+// backtracking.
+//
+// Entity / Confirm, when non-empty, assert which question the answer is
+// for; a mismatch with the pending question is rejected with 409. Clients
+// should copy them from the QuestionResponse they are answering, so a
+// retried POST whose first attempt was applied but whose response was lost
+// cannot land on the wrong question.
+type AnswerRequest struct {
+	Answer  string `json:"answer"`
+	Entity  string `json:"entity,omitempty"`
+	Confirm string `json:"confirm,omitempty"`
+}
+
+// ResultResponse reports a session's outcome (GET
+// /v1/sessions/{id}/result): final once Done, otherwise a progress
+// snapshot. Error carries a terminal discovery failure (e.g. answers ruled
+// out every candidate with backtracking off or exhausted).
+type ResultResponse struct {
+	SessionID       string   `json:"session_id"`
+	Done            bool     `json:"done"`
+	Target          string   `json:"target,omitempty"`
+	Candidates      []string `json:"candidates,omitempty"`
+	Questions       int      `json:"questions"`
+	Interactions    int      `json:"interactions"`
+	Backtracks      int      `json:"backtracks"`
+	SelectionTimeUS int64    `json:"selection_time_us"`
+	Error           string   `json:"error,omitempty"`
+}
+
+// CollectionInfo describes one registered collection (GET /v1/collections).
+type CollectionInfo struct {
+	Name string `json:"name"`
+	Sets int    `json:"sets"`
+	// Tree reports whether a prebuilt decision tree is registered, i.e.
+	// whether CreateSessionRequest.Tree is available.
+	Tree bool `json:"tree"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

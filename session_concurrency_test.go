@@ -1,0 +1,145 @@
+package setdiscovery
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessionsSharedCollection drives N suspended Sessions over
+// one shared Collection from concurrent goroutines, each goroutine
+// interleaving several sessions question-by-question the way a server
+// handler pool does. Sessions with equal options share a lookahead cache.
+// Run with -race; CI does.
+func TestConcurrentSessionsSharedCollection(t *testing.T) {
+	c, err := NewCollection(syntheticSets(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	const (
+		workers            = 8
+		sessionsPerWorker  = 4
+		expectedMaxRetries = 1024 // generous bound so a livelock fails fast
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			type live struct {
+				s      *Session
+				oracle Oracle
+				target string
+			}
+			// Open all of this worker's sessions up front...
+			var open []live
+			for i := 0; i < sessionsPerWorker; i++ {
+				target := names[(g*sessionsPerWorker+i*13)%len(names)]
+				oracle, err := c.TargetOracle(target)
+				if err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+				opts := []Option{WithK(2)}
+				if (g+i)%3 == 2 {
+					opts = []Option{WithStrategy("klplve"), WithK(3), WithQ(5)}
+				}
+				s, err := c.NewSession(nil, opts...)
+				if err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+				open = append(open, live{s, oracle, target})
+			}
+			// ...then advance them round-robin, one answer per turn, so the
+			// sessions interleave within the goroutine while the goroutines
+			// interleave on the shared caches.
+			for round := 0; len(open) > 0; round++ {
+				if round > expectedMaxRetries {
+					t.Errorf("worker %d: sessions did not converge", g)
+					return
+				}
+				next := open[:0]
+				for _, l := range open {
+					q, done := l.s.Next()
+					if done {
+						res, err := l.s.Result()
+						if err != nil {
+							t.Errorf("worker %d: %v", g, err)
+							continue
+						}
+						if res.Target != l.target {
+							t.Errorf("worker %d: discovered %q, want %q", g, res.Target, l.target)
+						}
+						continue
+					}
+					if err := l.s.Answer(l.oracle.Answer(q.Entity)); err != nil {
+						t.Errorf("worker %d: %v", g, err)
+						continue
+					}
+					next = append(next, l)
+				}
+				open = next
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentTreeSessionsSharedTree walks one shared prebuilt Tree from
+// many concurrent sessions, mixed with strategy-loop sessions on the same
+// collection.
+func TestConcurrentTreeSessionsSharedTree(t *testing.T) {
+	c, err := NewCollection(syntheticSets(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.BuildTree(WithK(2), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := c.Names()
+	const sessions = 16
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			target := names[(g*7)%len(names)]
+			oracle, err := c.TargetOracle(target)
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			var s *Session
+			if g%2 == 0 {
+				s = tr.NewSession()
+			} else {
+				s, err = c.NewSession(nil)
+				if err != nil {
+					t.Errorf("session %d: %v", g, err)
+					return
+				}
+			}
+			for {
+				q, done := s.Next()
+				if done {
+					break
+				}
+				if err := s.Answer(oracle.Answer(q.Entity)); err != nil {
+					t.Errorf("session %d: %v", g, err)
+					return
+				}
+			}
+			res, err := s.Result()
+			if err != nil {
+				t.Errorf("session %d: %v", g, err)
+				return
+			}
+			if res.Target != target {
+				t.Errorf("session %d: discovered %q, want %q", g, res.Target, target)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,243 @@
+package setdiscovery
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// recordingOracle wraps an oracle and logs the entities it was asked,
+// forwarding confirmation support.
+type recordingOracle struct {
+	inner Oracle
+	asked []string
+}
+
+func (r *recordingOracle) Answer(entity string) Answer {
+	r.asked = append(r.asked, entity)
+	return r.inner.Answer(entity)
+}
+
+func (r *recordingOracle) Confirm(setName string) bool {
+	if c, ok := r.inner.(Confirmer); ok {
+		return c.Confirm(setName)
+	}
+	return true
+}
+
+// driveSession answers a session's questions from an oracle, returning the
+// asked entities in order.
+func driveSession(t *testing.T, s *Session, o Oracle) []string {
+	t.Helper()
+	var asked []string
+	for {
+		q, done := s.Next()
+		if done {
+			break
+		}
+		var a Answer
+		if q.IsConfirm() {
+			a = No
+			if c, ok := o.(Confirmer); ok && c.Confirm(q.Confirm) {
+				a = Yes
+			}
+		} else {
+			asked = append(asked, q.Entity)
+			a = o.Answer(q.Entity)
+		}
+		if err := s.Answer(a); err != nil {
+			t.Fatalf("Answer: %v", err)
+		}
+	}
+	return asked
+}
+
+// TestSessionMatchesDiscover is the public parity acceptance criterion: for
+// the same collection, options and oracle, NewSession asks exactly the
+// question sequence Discover asks and reaches the same result.
+func TestSessionMatchesDiscover(t *testing.T) {
+	optsets := [][]Option{
+		nil,
+		{WithStrategy("most-even"), WithBatchSize(3)},
+		{WithStrategy("infogain"), WithMaxQuestions(2)},
+		{WithBacktracking()},
+	}
+	for _, opts := range optsets {
+		c, err := NewCollection(paperSets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range c.Names() {
+			oracle, err := c.TargetOracle(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recordingOracle{inner: oracle}
+			want, err := c.Discover(nil, rec, opts...)
+			if err != nil {
+				t.Fatalf("Discover(%s): %v", name, err)
+			}
+			s, err := c.NewSession(nil, opts...)
+			if err != nil {
+				t.Fatalf("NewSession(%s): %v", name, err)
+			}
+			asked := driveSession(t, s, oracle)
+			if !reflect.DeepEqual(asked, rec.asked) {
+				t.Errorf("%s: session asked %v, Discover asked %v", name, asked, rec.asked)
+			}
+			got, err := s.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Target != want.Target || got.Questions != want.Questions ||
+				got.Interactions != want.Interactions || got.Backtracks != want.Backtracks ||
+				!reflect.DeepEqual(got.Candidates, want.Candidates) {
+				t.Errorf("%s: session result %+v, Discover result %+v", name, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeSessionMatchesDiscoverWithTree(t *testing.T) {
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := c.BuildTree(WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range c.Names() {
+		oracle, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.DiscoverWithTree(tr, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.NewSession()
+		driveSession(t, s, oracle)
+		got, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Target != want.Target || got.Questions != want.Questions {
+			t.Errorf("%s: tree session %+v, DiscoverWithTree %+v", name, got, want)
+		}
+	}
+}
+
+func TestNewSessionErrors(t *testing.T) {
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewSession(nil, WithStrategy("nope")); err == nil {
+		t.Error("NewSession accepted an unknown strategy")
+	}
+	if _, err := c.NewSession([]string{"no-such-entity"}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("unknown initial entity: err = %v, want ErrNoCandidates", err)
+	}
+	// e and g never co-occur: no candidate set, surfaced at creation.
+	if _, err := c.NewSession([]string{"e", "g"}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("impossible initial examples: err = %v, want ErrNoCandidates", err)
+	}
+}
+
+// TestFactoryNormalisesStrategyName pins the fix for the case-mismatch bug:
+// the factory cache key and the created strategy must both use the
+// normalised name, so spellings share one factory regardless of arrival
+// order.
+func TestFactoryNormalisesStrategyName(t *testing.T) {
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spelling := range []string{"KLP", "klp", "Klp"} {
+		oracle, err := c.TargetOracle("S2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Discover(nil, oracle, WithStrategy(spelling)); err != nil {
+			t.Fatalf("Discover with strategy %q: %v", spelling, err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.factories)
+	c.mu.Unlock()
+	if n != 1 {
+		t.Errorf("%d factories cached for one strategy config spelled three ways, want 1", n)
+	}
+	// An invalid name must be rejected whatever entry got cached first.
+	if _, err := c.NewSession(nil, WithStrategy("KLPX")); err == nil {
+		t.Error("invalid strategy spelling accepted")
+	}
+}
+
+// lieFirstOracle wraps an oracle and flips its first membership answer —
+// the deterministic minimal §6 error scenario. Confirmation stays truthful.
+type lieFirstOracle struct {
+	inner Oracle
+	lied  bool
+}
+
+func (l *lieFirstOracle) Answer(entity string) Answer {
+	a := l.inner.Answer(entity)
+	if !l.lied {
+		l.lied = true
+		if a == Yes {
+			return No
+		}
+		return Yes
+	}
+	return a
+}
+
+func (l *lieFirstOracle) Confirm(setName string) bool {
+	return l.inner.(Confirmer).Confirm(setName)
+}
+
+// TestTargetOracleConfirms pins the fix for the silent-confirmation bug:
+// Collection.TargetOracle must implement Confirmer and accept only its own
+// set, so WithBacktracking can actually detect and recover from a wrong
+// answer through the public API.
+func TestTargetOracleConfirms(t *testing.T) {
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := c.TargetOracle("S3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, ok := oracle.(Confirmer)
+	if !ok {
+		t.Fatal("Collection.TargetOracle does not implement Confirmer; §6 error recovery is unreachable")
+	}
+	if !conf.Confirm("S3") {
+		t.Error("TargetOracle rejected its own set")
+	}
+	if conf.Confirm("S1") {
+		t.Error("TargetOracle confirmed a wrong set")
+	}
+
+	// End to end: a single wrong answer must be recovered via confirmation
+	// + backtracking, for every target.
+	for _, name := range c.Names() {
+		inner, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Discover(nil, &lieFirstOracle{inner: inner}, WithBacktracking())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Target != name {
+			t.Errorf("target %s: recovered %q instead", name, res.Target)
+		}
+		if res.Backtracks == 0 {
+			t.Errorf("target %s: confirmation accepted a wrong set without backtracking", name)
+		}
+	}
+}

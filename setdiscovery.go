@@ -90,15 +90,18 @@ type strategyKey struct {
 }
 
 // factory returns the shared strategy factory for cfg, creating it on first
-// use.
+// use. The name is normalised once so that the cache key and the created
+// strategy always agree — "KLP" and "klp" share one factory and are
+// validated identically no matter which spelling arrives first.
 func (c *Collection) factory(cfg config) (strategy.Factory, error) {
-	key := strategyKey{strings.ToLower(cfg.strategyName), cfg.metric, cfg.k, cfg.q}
+	name := strings.ToLower(cfg.strategyName)
+	key := strategyKey{name, cfg.metric, cfg.k, cfg.q}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if f, ok := c.factories[key]; ok {
 		return f, nil
 	}
-	f, err := strategy.New(cfg.strategyName, cfg.metric, cfg.k, cfg.q)
+	f, err := strategy.New(name, cfg.metric, cfg.k, cfg.q)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +261,9 @@ func (c *Collection) BuildTree(opts ...Option) (*Tree, error) {
 	return &Tree{t: t, c: c}, nil
 }
 
+// Collection returns the collection the tree was built over.
+func (t *Tree) Collection() *Collection { return t.c }
+
 // AvgDepth returns the expected number of questions under uniform targets.
 func (t *Tree) AvgDepth() float64 { return t.t.AvgDepth() }
 
@@ -302,16 +308,7 @@ func (c *Collection) DiscoverWithTree(t *Tree, oracle Oracle) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
-		Candidates:    res.Candidates.Names(),
-		Questions:     res.Questions,
-		Interactions:  res.Interactions,
-		SelectionTime: res.SelectionTime,
-	}
-	if res.Target != nil {
-		out.Target = res.Target.Name
-	}
-	return out, nil
+	return convertResult(res), nil
 }
 
 // Answer is a reply to a membership question.
@@ -338,23 +335,39 @@ type OracleFunc func(entity string) Answer
 func (f OracleFunc) Answer(entity string) Answer { return f(entity) }
 
 // TargetOracle returns an oracle that answers truthfully for the named set —
-// useful for simulations and tests. It fails when the set is unknown.
+// useful for simulations and tests. It fails when the set is unknown. The
+// oracle also implements Confirmer, accepting only the named set, so that
+// WithBacktracking sessions driven by it actually exercise the §6
+// confirm-and-recover step instead of silently accepting any candidate.
 func (c *Collection) TargetOracle(name string) (Oracle, error) {
 	s := c.c.FindByName(name)
 	if s == nil {
 		return nil, fmt.Errorf("setdiscovery: no set named %q", name)
 	}
-	return OracleFunc(func(entity string) Answer {
-		id, ok := c.c.Dict().Lookup(entity)
-		if !ok {
-			return No
-		}
-		if s.Contains(id) {
-			return Yes
-		}
-		return No
-	}), nil
+	return targetOracle{c: c.c, s: s}, nil
 }
+
+// targetOracle is the truthful simulated user behind Collection.TargetOracle.
+type targetOracle struct {
+	c *dataset.Collection
+	s *dataset.Set
+}
+
+// Answer implements Oracle.
+func (o targetOracle) Answer(entity string) Answer {
+	id, ok := o.c.Dict().Lookup(entity)
+	if !ok {
+		return No
+	}
+	if o.s.Contains(id) {
+		return Yes
+	}
+	return No
+}
+
+// Confirm implements Confirmer: only the oracle's own set is accepted (set
+// names are unique within a collection), mirroring discovery.TargetOracle.
+func (o targetOracle) Confirm(setName string) bool { return setName == o.s.Name }
 
 // Result reports a discovery run.
 type Result struct {
@@ -399,13 +412,9 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 	// share the concurrency-safe lookahead cache, so concurrent sessions
 	// are race-free yet amortise each other's selection work.
 	sel := f.New()
-	init := make([]dataset.Entity, 0, len(initial))
-	for _, s := range initial {
-		id, ok := c.c.Dict().Lookup(s)
-		if !ok {
-			return nil, fmt.Errorf("%w: entity %q occurs in no set", ErrNoCandidates, s)
-		}
-		init = append(init, id)
+	init, err := c.lookupInitial(initial)
+	if err != nil {
+		return nil, err
 	}
 	wrapped := oracleAdapter{c: c.c, o: oracle}
 	res, err := discovery.Run(c.c, init, wrapped, discovery.Options{
@@ -418,6 +427,25 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
+	return convertResult(res), nil
+}
+
+// lookupInitial resolves initial example names to entity IDs; an unknown
+// name yields ErrNoCandidates (no set can contain it).
+func (c *Collection) lookupInitial(initial []string) ([]dataset.Entity, error) {
+	init := make([]dataset.Entity, 0, len(initial))
+	for _, s := range initial {
+		id, ok := c.c.Dict().Lookup(s)
+		if !ok {
+			return nil, fmt.Errorf("%w: entity %q occurs in no set", ErrNoCandidates, s)
+		}
+		init = append(init, id)
+	}
+	return init, nil
+}
+
+// convertResult maps an internal discovery result to the public shape.
+func convertResult(res *discovery.Result) *Result {
 	out := &Result{
 		Candidates:    res.Candidates.Names(),
 		Questions:     res.Questions,
@@ -428,7 +456,7 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 	if res.Target != nil {
 		out.Target = res.Target.Name
 	}
-	return out, nil
+	return out
 }
 
 // oracleAdapter bridges string oracles to entity-ID oracles, forwarding the
