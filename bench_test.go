@@ -165,8 +165,12 @@ func BenchmarkFingerprint(b *testing.B) {
 }
 
 // BenchmarkBuildParallel measures offline construction (Algorithm 3) across
-// worker counts, reporting the shared lookahead cache's hit rate. The tree
-// is identical at every width; only wall-clock changes.
+// worker counts, reporting the shared lookahead cache's hit rate and
+// allocation profile. The tree is identical at every width; only wall-clock
+// changes. The unpooled-workers-1 variant runs the original allocating
+// build (no scratch arenas, no bitset pool) as the baseline the pooled
+// numbers are compared against — the B/op delta is this PR's acceptance
+// criterion.
 func BenchmarkBuildParallel(b *testing.B) {
 	c := benchCollection(b)
 	sub := c.All()
@@ -176,6 +180,7 @@ func BenchmarkBuildParallel(b *testing.B) {
 	}
 	for _, w := range workers {
 		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			var sel *strategy.KLP
 			for i := 0; i < b.N; i++ {
 				sel = strategy.NewKLP(cost.AD, 2)
@@ -186,6 +191,72 @@ func BenchmarkBuildParallel(b *testing.B) {
 			st := sel.CacheStats()
 			b.ReportMetric(st.HitRate()*100, "cachehit%")
 		})
+	}
+	b.Run("unpooled-workers-1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sel := strategy.NewKLP(cost.AD, 2).DisableScratch()
+			if _, err := tree.Build(sub, sel, tree.WithParallelism(1), tree.WithPooling(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSelectSteadyState measures one full k-LP root selection with a
+// cold lookahead cache but warm per-instance scratch — the steady state of
+// a long-lived worker whose every node allocation is served by its arena.
+// The unpooled variant is the original allocating hot path; compare B/op.
+// (The cache reset is shared overhead in both variants; without it every
+// iteration after the first would be a pure cache hit.)
+func BenchmarkSelectSteadyState(b *testing.B) {
+	c := benchCollection(b)
+	sub := c.All()
+	variants := []struct {
+		name string
+		f    strategy.Factory
+	}{
+		{"pooled", strategy.NewKLP(cost.AD, 2)},
+		{"unpooled", strategy.NewKLP(cost.AD, 2).DisableScratch()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			sel := v.f.New().(*strategy.KLP)
+			if _, ok := sel.Select(sub); !ok { // size the scratch before timing
+				b.Fatal("selection failed")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel.ResetCache()
+				if _, ok := sel.Select(sub); !ok {
+					b.Fatal("selection failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionSteadyState measures a whole discovery session per
+// iteration over a shared factory — the serving-layer steady state where
+// scratch arenas, the session subset recycling and the warm lookahead
+// cache all apply.
+func BenchmarkSessionSteadyState(b *testing.B) {
+	c := benchCollection(b)
+	f := strategy.NewKLP(cost.AD, 2)
+	r := rng.New(17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := c.Set(r.Intn(c.Len()))
+		res, err := discovery.Run(c, nil, discovery.TargetOracle{Target: target},
+			discovery.Options{Strategy: f.New()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Target != target {
+			b.Fatal("discovery missed")
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	setdiscd -collection sets.txt [-collection name=other.txt ...]
-//	         [-addr :8080] [-ttl 30m] [-max-sessions 16384]
+//	         [-addr :8080] [-ttl 30m] [-max-sessions 16384] [-cache-bound n]
 //	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
 //
 // Each -collection flag registers one collection; "name=path" sets the
@@ -65,6 +65,7 @@ func main() {
 		q            = flag.Int("q", 10, "candidate entities per step (klple/klplve)")
 		metricName   = flag.String("metric", "ad", "cost metric for -prebuild trees: ad or h")
 		parallel     = flag.Int("parallel", 0, "tree construction workers (0 = GOMAXPROCS)")
+		cacheBound   = flag.Int("cache-bound", 1<<20, "max entries per lookahead cache (clock eviction; 0 = unbounded)")
 	)
 	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
 	flag.Parse()
@@ -75,11 +76,18 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "setdiscd: ", log.LstdFlags)
-	srv := server.New(
+	srvOpts := []server.Option{
 		server.WithTTL(*ttl),
 		server.WithMaxSessions(*maxSessions),
 		server.WithLogf(logger.Printf),
-	)
+	}
+	if *cacheBound > 0 {
+		// Bound every session's shared lookahead cache so a long-running
+		// daemon's memory stays flat no matter how many distinct
+		// sub-collections its users explore; evictions only recompute.
+		srvOpts = append(srvOpts, server.WithSessionOptions(setdiscovery.WithCacheBound(*cacheBound)))
+	}
+	srv := server.New(srvOpts...)
 
 	metric := setdiscovery.AverageDepth
 	if strings.EqualFold(*metricName, "h") {
@@ -91,6 +99,9 @@ func main() {
 		setdiscovery.WithQ(*q),
 		setdiscovery.WithMetric(metric),
 		setdiscovery.WithParallelism(*parallel),
+	}
+	if *cacheBound > 0 {
+		buildOpts = append(buildOpts, setdiscovery.WithCacheBound(*cacheBound))
 	}
 
 	for _, spec := range collections {

@@ -143,6 +143,24 @@ func (b *Bits) Or(other *Bits) *Bits {
 	return out
 }
 
+// AndNotInto sets dst = b \ other without allocating. dst must have the
+// same capacity as b and other (it typically comes from a Pool); dst may
+// alias b or other.
+func (b *Bits) AndNotInto(other, dst *Bits) {
+	b.check(other)
+	b.check(dst)
+	for i := range b.words {
+		dst.words[i] = b.words[i] &^ other.words[i]
+	}
+}
+
+// CopyInto copies b's contents into dst without allocating. dst must have
+// the same capacity as b.
+func (b *Bits) CopyInto(dst *Bits) {
+	b.check(dst)
+	copy(dst.words, b.words)
+}
+
 // AndCount returns |b ∩ other| without allocating.
 func (b *Bits) AndCount(other *Bits) int {
 	b.check(other)

@@ -1,0 +1,86 @@
+package bitset
+
+import "sync"
+
+// Pool recycles Bits values so the selection hot path — which splits a
+// sub-collection bitset at every node of every lookahead — reaches a steady
+// state with zero bitset allocations. Freed bitsets are kept on free lists
+// keyed by word count, so one pool serves subsets of differently sized
+// collections without mixing capacities.
+//
+// A Pool is safe for concurrent use: the parallel tree builder shares one
+// pool across its workers so a subset partitioned on one goroutine can be
+// released from another after the fork–join. Get returns a zeroed bitset;
+// Put performs no clearing (clearing once on Get is cheaper than clearing
+// defensively on both ends).
+type Pool struct {
+	mu   sync.Mutex
+	free map[int][]*Bits // word count -> free list
+	gets int64
+	puts int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]*Bits)}
+}
+
+// Get returns an empty bitset with capacity n, reusing a previously Put
+// bitset of the same word count when one is free. The returned bitset is
+// owned by the caller until it is handed back with Put.
+func (p *Pool) Get(n int) *Bits {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	words := (n + wordBits - 1) / wordBits
+	p.mu.Lock()
+	p.gets++
+	list := p.free[words]
+	if len(list) == 0 {
+		p.mu.Unlock()
+		return New(n)
+	}
+	b := list[len(list)-1]
+	list[len(list)-1] = nil
+	p.free[words] = list[:len(list)-1]
+	p.mu.Unlock()
+	clear(b.words)
+	b.n = n
+	return b
+}
+
+// Put hands b back to the pool for reuse. The caller must not touch b
+// afterwards; a second Put of the same bitset without an intervening Get is
+// a use-after-free style programming error the pool cannot detect.
+func (p *Pool) Put(b *Bits) {
+	if b == nil {
+		return
+	}
+	words := len(b.words)
+	p.mu.Lock()
+	p.puts++
+	p.free[words] = append(p.free[words], b)
+	p.mu.Unlock()
+}
+
+// PoolStats is a point-in-time snapshot of pool traffic.
+type PoolStats struct {
+	Gets int64 // bitsets handed out
+	Puts int64 // bitsets handed back
+	Free int   // bitsets currently parked on free lists
+}
+
+// Outstanding returns Gets − Puts: the number of pooled bitsets currently
+// held by callers. A leak-free workload ends with Outstanding() == 0.
+func (s PoolStats) Outstanding() int64 { return s.Gets - s.Puts }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{Gets: p.gets, Puts: p.puts}
+	for _, list := range p.free {
+		st.Free += len(list)
+	}
+	return st
+}

@@ -1,0 +1,151 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolGetReturnsZeroedBits(t *testing.T) {
+	p := NewPool()
+	b := p.Get(130)
+	if b.Cap() != 130 || !b.Empty() {
+		t.Fatalf("fresh Get: cap=%d empty=%v", b.Cap(), b.Empty())
+	}
+	b.Set(0)
+	b.Set(129)
+	p.Put(b)
+	r := p.Get(130)
+	if r != b {
+		t.Fatalf("Get did not reuse the freed bitset")
+	}
+	if !r.Empty() {
+		t.Fatalf("reused bitset not zeroed: %v", r)
+	}
+	if r.Cap() != 130 {
+		t.Fatalf("reused bitset cap = %d, want 130", r.Cap())
+	}
+}
+
+// TestPoolBucketing checks that freed bitsets are reused only for capacities
+// of the same word count, and that a different word count within the same
+// pool gets its own free list.
+func TestPoolBucketing(t *testing.T) {
+	p := NewPool()
+	small := p.Get(64) // 1 word
+	large := p.Get(65) // 2 words
+	p.Put(small)
+	p.Put(large)
+
+	// 1..64 bits all share the 1-word bucket; capacity is re-stamped.
+	r := p.Get(10)
+	if r != small {
+		t.Fatalf("Get(10) did not reuse the 1-word bitset")
+	}
+	if r.Cap() != 10 {
+		t.Fatalf("reused cap = %d, want 10", r.Cap())
+	}
+	// Out-of-range ops must respect the new capacity.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Set beyond re-stamped capacity did not panic")
+		}
+	}()
+	r2 := p.Get(128)
+	if r2 != large {
+		t.Fatalf("Get(128) did not reuse the 2-word bitset")
+	}
+	r.Set(10)
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool()
+	a := p.Get(100)
+	b := p.Get(100)
+	if st := p.Stats(); st.Gets != 2 || st.Puts != 0 || st.Outstanding() != 2 {
+		t.Fatalf("stats after 2 gets: %+v", st)
+	}
+	p.Put(a)
+	p.Put(b)
+	st := p.Stats()
+	if st.Outstanding() != 0 || st.Free != 2 {
+		t.Fatalf("stats after puts: %+v outstanding=%d", st, st.Outstanding())
+	}
+}
+
+// TestPoolConcurrent hammers one pool from many goroutines (run under -race)
+// and checks that the counters balance and no bitset is handed to two
+// goroutines at once (each marks its bitset and verifies the mark).
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sizes := []int{64, 100, 192, 1000}
+			for i := 0; i < rounds; i++ {
+				n := sizes[(g+i)%len(sizes)]
+				b := p.Get(n)
+				if !b.Empty() {
+					t.Errorf("goroutine %d: dirty bitset from pool", g)
+					return
+				}
+				b.Set(g % n)
+				if b.Count() != 1 || !b.Test(g%n) {
+					t.Errorf("goroutine %d: bitset shared with another goroutine", g)
+					return
+				}
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != goroutines*rounds || st.Puts != goroutines*rounds {
+		t.Fatalf("unbalanced counters: %+v", st)
+	}
+	if st.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after all puts", st.Outstanding())
+	}
+}
+
+func TestAndNotInto(t *testing.T) {
+	a := FromSlice(130, []uint32{0, 5, 64, 129})
+	b := FromSlice(130, []uint32{5, 64})
+	dst := New(130)
+	dst.Set(7) // stale content must be overwritten
+	a.AndNotInto(b, dst)
+	if !dst.Equal(a.AndNot(b)) {
+		t.Fatalf("AndNotInto = %v, want %v", dst, a.AndNot(b))
+	}
+	// Aliasing dst with the receiver.
+	ac := a.Clone()
+	ac.AndNotInto(b, ac)
+	if !ac.Equal(a.AndNot(b)) {
+		t.Fatalf("aliased AndNotInto = %v, want %v", ac, a.AndNot(b))
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	a := FromSlice(130, []uint32{0, 64, 129})
+	dst := New(130)
+	dst.Set(3)
+	a.CopyInto(dst)
+	if !dst.Equal(a) {
+		t.Fatalf("CopyInto = %v, want %v", dst, a)
+	}
+}
+
+func TestIntoCapacityMismatchPanics(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	dst := New(128)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("capacity mismatch did not panic")
+		}
+	}()
+	a.AndNotInto(b, dst)
+}

@@ -255,9 +255,13 @@ func (c *Collection) SupersetsOf(initial []Entity) *Subset {
 		return c.All()
 	}
 	init := setops.Normalize(append([]Entity(nil), initial...))
+	// Double-buffered IntersectInto: one allocation pair for the whole
+	// filter instead of a fresh slice per initial entity.
 	members := append([]uint32(nil), c.Postings(init[0])...)
+	buf := make([]uint32, 0, len(members))
 	for _, e := range init[1:] {
-		members = setops.Intersect(members, c.Postings(e))
+		buf = setops.IntersectInto(buf[:0], members, c.Postings(e))
+		members, buf = buf, members
 		if len(members) == 0 {
 			break
 		}

@@ -2,7 +2,7 @@ package dataset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"setdiscovery/internal/bitset"
 )
@@ -14,6 +14,11 @@ type Subset struct {
 	c       *Collection
 	members *bitset.Bits // over set indexes
 	size    int
+
+	// sc is non-nil while the subset is pooled: its bitset came from sc's
+	// pool via PartitionScratch and goes back there on Release. Unpool
+	// clears it. Subsets from the allocating constructors have sc == nil.
+	sc *Scratch
 }
 
 // All returns the sub-collection containing every set.
@@ -92,7 +97,18 @@ func (s *Subset) InformativeEntities() []EntityCount {
 			out = append(out, EntityCount{e, n})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Entity < out[j].Entity })
+	// slices.SortFunc rather than sort.Slice: no closure-through-interface
+	// indirection, and no reflect-based swapping — the only sort left on
+	// the counting paths (the dense path is sort-free by construction).
+	slices.SortFunc(out, func(a, b EntityCount) int {
+		if a.Entity < b.Entity {
+			return -1
+		}
+		if a.Entity > b.Entity {
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 

@@ -167,6 +167,11 @@ type Options struct {
 	// implements Confirmer; a rejection triggers backtracking (§6 error
 	// recovery). Requires Backtrack for recovery to proceed.
 	ConfirmTarget bool
+
+	// noScratch disables the session's subset recycling (tests only: the
+	// pooled-vs-unpooled equivalence suite uses it to drive the original
+	// allocating path as the reference).
+	noScratch bool
 }
 
 // Result reports the outcome of a discovery run.
@@ -263,10 +268,28 @@ func apply(cs *dataset.Subset, e dataset.Entity, a Answer) *dataset.Subset {
 	return without
 }
 
+// applyScratch is apply through the session scratch: the partition draws
+// pooled bitsets and the half ruled out by the answer — which nothing can
+// ever reference — is recycled on the spot. With a nil scratch it is
+// exactly apply.
+func applyScratch(cs *dataset.Subset, e dataset.Entity, a Answer, sc *dataset.Scratch) *dataset.Subset {
+	if sc == nil {
+		return apply(cs, e, a)
+	}
+	with, without := cs.PartitionScratch(e, sc)
+	if a == Yes {
+		without.Release()
+		return with
+	}
+	with.Release()
+	return without
+}
+
 // selectBatch picks the entities for the next interaction: the strategy's
 // choice, plus (BatchSize−1) further entities ranked by 1-step bound for
 // multiple-choice interactions. Selection time is accounted to the result.
-func selectBatch(cs *dataset.Subset, opts Options, excluded map[dataset.Entity]bool, res *Result) ([]dataset.Entity, bool) {
+// sc, when non-nil, backs the batch ranking's entity counting.
+func selectBatch(cs *dataset.Subset, opts Options, excluded map[dataset.Entity]bool, res *Result, sc *dataset.Scratch) ([]dataset.Entity, bool) {
 	start := time.Now()
 	defer func() { res.SelectionTime += time.Since(start) }()
 
@@ -286,7 +309,13 @@ func selectBatch(cs *dataset.Subset, opts Options, excluded map[dataset.Entity]b
 		uneven int
 	}
 	var cands []cand
-	for _, ec := range cs.InformativeEntities() {
+	var infos []dataset.EntityCount
+	if sc != nil {
+		infos = cs.InformativeEntitiesInto(sc)
+	} else {
+		infos = cs.InformativeEntities()
+	}
+	for _, ec := range infos {
 		if ec.Entity == first || excluded[ec.Entity] {
 			continue
 		}

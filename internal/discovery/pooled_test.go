@@ -1,0 +1,239 @@
+package discovery
+
+import (
+	"errors"
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/rng"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/synth"
+	"setdiscovery/internal/testutil"
+)
+
+// sameQuestions reports whether two question logs are identical in entities,
+// answers and order.
+func sameQuestions(a, b []Question) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runPair drives one discovery twice — pooled (session scratch + scratch
+// strategy sibling) and unpooled (the original allocating paths) — and
+// fails unless both asked byte-identical question sequences and produced
+// the same outcome. mkOracle must return deterministic, equally seeded
+// oracles.
+func runPair(t *testing.T, c *dataset.Collection, initial []dataset.Entity,
+	mkOracle func() Oracle, pooledSel, unpooledSel strategy.Strategy, mut func(*Options)) {
+	t.Helper()
+	pOpts := Options{Strategy: pooledSel}
+	uOpts := Options{Strategy: unpooledSel, noScratch: true}
+	if mut != nil {
+		mut(&pOpts)
+		mut(&uOpts)
+	}
+	pRes, pErr := Run(c, initial, mkOracle(), pOpts)
+	uRes, uErr := Run(c, initial, mkOracle(), uOpts)
+	if (pErr == nil) != (uErr == nil) || (pErr != nil && !errors.Is(pErr, uErr) && !errors.Is(uErr, pErr)) {
+		t.Fatalf("pooled err %v vs unpooled err %v", pErr, uErr)
+	}
+	if pErr != nil {
+		return
+	}
+	if !sameQuestions(pRes.Asked, uRes.Asked) {
+		t.Fatalf("question sequences diverged:\npooled:   %v\nunpooled: %v", pRes.Asked, uRes.Asked)
+	}
+	if pRes.Target != uRes.Target {
+		t.Fatalf("targets diverged: %v vs %v", pRes.Target, uRes.Target)
+	}
+	if pRes.Questions != uRes.Questions || pRes.Interactions != uRes.Interactions ||
+		pRes.Unknowns != uRes.Unknowns || pRes.Backtracks != uRes.Backtracks {
+		t.Fatalf("counters diverged: pooled %+v vs unpooled %+v", pRes, uRes)
+	}
+	if !sameMemberIndexes(pRes.Candidates, uRes.Candidates) {
+		t.Fatalf("candidates diverged")
+	}
+}
+
+func sameMemberIndexes(a, b *dataset.Subset) bool {
+	am, bm := a.Members(), b.Members()
+	if len(am) != len(bm) {
+		return false
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPooledSessionsAskIdenticalQuestions is the tentpole equivalence proof
+// at the discovery layer: across strategies and every target of two
+// collections, the pooled session asks exactly the questions the original
+// allocating session asks.
+func TestPooledSessionsAskIdenticalQuestions(t *testing.T) {
+	sc, err := synth.Generate(synth.Params{N: 50, SizeMin: 8, SizeMax: 12, Alpha: 0.8, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*dataset.Collection{testutil.PaperCollection(), sc} {
+		klp := strategy.NewKLP(cost.AD, 2)
+		klpRef := strategy.NewKLP(cost.AD, 2).DisableScratch()
+		gaink := strategy.NewGainK(2)
+		gainkRef := strategy.NewGainK(2).DisableScratch()
+		for _, target := range c.Sets() {
+			mk := func() Oracle { return TargetOracle{target} }
+			runPair(t, c, nil, mk, klp.New(), klpRef.New(), nil)
+			runPair(t, c, nil, mk, gaink.New(), gainkRef.New(), nil)
+			runPair(t, c, nil, mk, strategy.MostEven{}.New(), strategy.MostEven{}, nil)
+		}
+	}
+}
+
+// TestPooledSessionsWithUnknownsAndBatches covers the session features that
+// touch the candidate set beyond plain narrowing: "don't know" exclusions
+// and multi-question batches.
+func TestPooledSessionsWithUnknownsAndBatches(t *testing.T) {
+	c := testutil.PaperCollection()
+	klp := strategy.NewKLP(cost.AD, 2)
+	klpRef := strategy.NewKLP(cost.AD, 2).DisableScratch()
+	for _, target := range c.Sets() {
+		// First question answered "don't know": forces the exclusion path.
+		mkUnsure := func() Oracle {
+			first := true
+			inner := TargetOracle{target}
+			return OracleFunc(func(e dataset.Entity) Answer {
+				if first {
+					first = false
+					return Unknown
+				}
+				return inner.Answer(e)
+			})
+		}
+		runPair(t, c, nil, mkUnsure, klp.New(), klpRef.New(), nil)
+		// Batches of three questions per interaction.
+		mk := func() Oracle { return TargetOracle{target} }
+		runPair(t, c, nil, mk, klp.New(), klpRef.New(), func(o *Options) { o.BatchSize = 3 })
+	}
+}
+
+// TestPooledSessionsWithBacktracking drives noisy oracles through the §6
+// confirm-and-recover loop on both paths: backtracking retains superseded
+// candidate sets in its trail, the hardest case for recycling to get right.
+func TestPooledSessionsWithBacktracking(t *testing.T) {
+	c := testutil.PaperCollection()
+	klp := strategy.NewKLP(cost.AD, 2)
+	klpRef := strategy.NewKLP(cost.AD, 2).DisableScratch()
+	for _, target := range c.Sets() {
+		for trial := 0; trial < 10; trial++ {
+			seed := uint64(trial)*1000 + uint64(target.Index)
+			mk := func() Oracle {
+				return &NoisyOracle{Inner: TargetOracle{target}, P: 0.2, R: rng.New(seed)}
+			}
+			runPair(t, c, nil, mk, klp.New(), klpRef.New(), func(o *Options) {
+				o.Backtrack = true
+				o.ConfirmTarget = true
+				o.MaxQuestions = 200
+				o.MaxBacktracks = 200
+			})
+		}
+	}
+}
+
+// TestSessionSnapshotSurvivesLaterAnswers pins the escape discipline: a
+// progress snapshot taken mid-session must keep its candidate list intact
+// while the session keeps narrowing (and recycling) behind it.
+func TestSessionSnapshotSurvivesLaterAnswers(t *testing.T) {
+	c := testutil.PaperCollection()
+	target := c.Sets()[c.Len()-1]
+	oracle := TargetOracle{target}
+	s, err := NewSession(c, nil, Options{Strategy: strategy.NewKLP(cost.AD, 2).New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer one question, snapshot, then finish the session.
+	e, done := s.Next()
+	if done {
+		t.Fatal("session done before first question")
+	}
+	if err := s.Answer(oracle.Answer(e)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapMembers := append([]uint32(nil), snap.Candidates.Members()...)
+	snapSize := snap.Candidates.Size()
+	for !s.Done() {
+		e, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(oracle.Answer(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target != target {
+		t.Fatalf("discovered %v, want %s", res.Target, target.Name)
+	}
+	if snap.Candidates.Size() != snapSize {
+		t.Fatalf("snapshot size changed from %d to %d after later answers", snapSize, snap.Candidates.Size())
+	}
+	got := snap.Candidates.Members()
+	for i := range got {
+		if got[i] != snapMembers[i] {
+			t.Fatalf("snapshot members changed after later answers: %v vs %v", got, snapMembers)
+		}
+	}
+}
+
+// TestSessionSteadyStateRecycling: across many sessions sharing one
+// collection, each session's scratch stays bounded — the not-taken halves
+// and superseded candidate sets go back to the pool every Answer.
+func TestSessionSteadyStateRecycling(t *testing.T) {
+	c := testutil.PaperCollection()
+	f := strategy.NewKLP(cost.AD, 2)
+	for _, target := range c.Sets() {
+		s, err := NewSession(c, nil, Options{Strategy: f.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := TargetOracle{target}
+		for !s.Done() {
+			e, done := s.Next()
+			if done {
+				break
+			}
+			if err := s.Answer(oracle.Answer(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Target != target {
+			t.Fatalf("discovered %v, want %s", res.Target, target.Name)
+		}
+		// Outstanding = the final (unpooled) candidate set at most, plus
+		// nothing else: every intermediate subset was recycled.
+		if out := s.scratch.Pool().Stats().Outstanding(); out > 1 {
+			t.Fatalf("target %s: %d pooled subsets outstanding at session end, want ≤ 1",
+				target.Name, out)
+		}
+	}
+}

@@ -59,6 +59,15 @@ type Session struct {
 	excluded map[dataset.Entity]bool
 	trail    []trailEntry
 
+	// scratch recycles the candidate-narrowing partitions across the whole
+	// session: every Answer splits the candidate set, and without reuse a
+	// long session churns two bitsets per question. The half not taken is
+	// released immediately; superseded candidate sets are released too once
+	// no trail entry or escaped snapshot can reference them. Anything
+	// exposed through Result is detached first (Unpool), so callers never
+	// observe recycled memory.
+	scratch *dataset.Scratch
+
 	// batch holds the not-yet-asked entities of the in-flight interaction;
 	// inBatch distinguishes "between interactions" from "mid-interaction"
 	// so that the per-interaction bookkeeping of Run (MaxQuestions is
@@ -93,6 +102,9 @@ func NewSession(c *dataset.Collection, initial []dataset.Entity, opts Options) (
 		res:      &Result{Candidates: cs},
 		cs:       cs,
 		excluded: make(map[dataset.Entity]bool),
+	}
+	if !opts.noScratch {
+		s.scratch = dataset.NewScratch()
 	}
 	if cs.Size() == 0 {
 		s.finish(ErrNoCandidates)
@@ -171,8 +183,19 @@ func (s *Session) Answer(a Answer) error {
 			s.res.Unknowns++
 			s.excluded[e] = true
 		case Yes, No:
-			s.trail = append(s.trail, trailEntry{before: s.cs, entity: e, answer: a})
-			s.cs = apply(s.cs, e, a)
+			old := s.cs
+			s.cs = applyScratch(old, e, a, s.scratch)
+			if s.opts.Backtrack {
+				// The trail must be able to restore any earlier candidate
+				// set, so superseded subsets stay live until the session
+				// ends.
+				s.trail = append(s.trail, trailEntry{before: old, entity: e, answer: a})
+			} else {
+				// Without backtracking nothing can reference the superseded
+				// subset again; recycle it (a no-op if it escaped through a
+				// Result snapshot, which detaches it first).
+				old.Release()
+			}
 			if s.cs.Size() == 0 {
 				// Only reachable in batch mode: a later question of the
 				// batch may contradict the already narrowed candidates.
@@ -217,7 +240,7 @@ func (s *Session) advance() {
 			}
 		}
 		if s.cs.Size() > 1 && !(s.opts.MaxQuestions > 0 && s.res.Questions >= s.opts.MaxQuestions) {
-			entities, ok := selectBatch(s.cs, s.opts, s.excluded, s.res)
+			entities, ok := selectBatch(s.cs, s.opts, s.excluded, s.res, s.scratch)
 			if ok {
 				s.res.Interactions++
 				s.batch = entities
@@ -239,22 +262,32 @@ func (s *Session) advance() {
 	}
 }
 
-// finish moves the session to its terminal state.
+// finish moves the session to its terminal state. The final candidate set
+// escapes into the Result, so it is detached from the session scratch
+// first — the pool must never reclaim memory a caller can still see.
 func (s *Session) finish(err error) {
 	s.state = stateDone
 	s.err = err
 	switch {
 	case err == nil:
+		s.cs.Unpool()
 		s.res.Candidates = s.cs
 		if s.cs.Size() == 1 {
 			s.res.Target = s.cs.Single()
 		}
 	case errors.Is(err, ErrNoCandidates):
+		s.cs.Unpool()
 		s.res.Candidates = s.cs
 	default: // contradiction: every candidate was ruled out
 		s.res.Candidates = s.c.SubsetOf(nil)
 	}
 }
+
+// Questions returns the number of questions counted so far without taking
+// a Result snapshot. Serving layers poll this on every round trip; unlike
+// Result it neither copies the result nor detaches the live candidate set
+// from the session's recycling.
+func (s *Session) Questions() int { return s.res.Questions }
 
 // Result returns the session outcome. Once Done it is exactly what Run
 // would have returned (including a nil-error Result paired with
@@ -265,6 +298,9 @@ func (s *Session) Result() (*Result, error) {
 		return s.res, s.err
 	}
 	r := *s.res
+	// The snapshot hands the live candidate set to the caller; detach it
+	// so later Answers can no longer recycle its memory underneath them.
+	s.cs.Unpool()
 	r.Candidates = s.cs
 	return &r, nil
 }
@@ -347,6 +383,10 @@ func (s *TreeSession) settle() {
 	s.res.Target = s.n.Set
 	s.done = true
 }
+
+// Questions returns the number of questions answered so far, without
+// materialising the snapshot candidate list Result builds for a live walk.
+func (s *TreeSession) Questions() int { return s.res.Questions }
 
 // Result returns the walk outcome; before Done it is a snapshot whose
 // candidates are the sets below the current node.

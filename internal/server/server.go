@@ -50,6 +50,15 @@ func WithLogf(f func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = f }
 }
 
+// WithSessionOptions prepends base options to every session the server
+// creates; request-supplied options are applied after them and win on
+// conflict. The primary use is setdiscovery.WithCacheBound, so a server
+// meant to run indefinitely caps the per-collection lookahead caches its
+// sessions share (setdiscd wires -cache-bound through here).
+func WithSessionOptions(opts ...setdiscovery.Option) Option {
+	return func(s *Server) { s.sessionOpts = append(s.sessionOpts, opts...) }
+}
+
 // collectionEntry pairs a registered collection with its optional prebuilt
 // tree.
 type collectionEntry struct {
@@ -67,6 +76,7 @@ type Server struct {
 	store       *Store
 	ttl         time.Duration
 	maxSessions int
+	sessionOpts []setdiscovery.Option
 	logf        func(format string, args ...any)
 }
 
@@ -161,7 +171,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := newSessionFrom(e, &req)
+	sess, err := newSessionFrom(e, &req, s.sessionOpts)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -178,8 +188,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusCreated, questionSnapshot(id, sess))
 }
 
-// newSessionFrom builds the requested kind of session over e.
-func newSessionFrom(e *collectionEntry, req *CreateSessionRequest) (*setdiscovery.Session, error) {
+// newSessionFrom builds the requested kind of session over e. base options
+// (the server's WithSessionOptions) come first so request options override
+// them.
+func newSessionFrom(e *collectionEntry, req *CreateSessionRequest, base []setdiscovery.Option) (*setdiscovery.Session, error) {
 	if req.Tree {
 		if e.tree == nil {
 			return nil, errors.New("collection has no prebuilt tree")
@@ -189,7 +201,7 @@ func newSessionFrom(e *collectionEntry, req *CreateSessionRequest) (*setdiscover
 		}
 		return e.tree.NewSession(), nil
 	}
-	var opts []setdiscovery.Option
+	opts := append([]setdiscovery.Option(nil), base...)
 	if req.Strategy != "" {
 		opts = append(opts, setdiscovery.WithStrategy(req.Strategy))
 	}

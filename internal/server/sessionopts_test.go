@@ -1,0 +1,30 @@
+package server
+
+import (
+	"testing"
+
+	"setdiscovery"
+)
+
+// TestWithSessionOptionsCacheBound: a server constructed with a session
+// cache bound resolves every target exactly as an unbounded server does —
+// the option changes memory policy, not protocol behaviour.
+func TestWithSessionOptionsCacheBound(t *testing.T) {
+	_, plain, c := newTestServer(t)
+	_, bounded, _ := newTestServer(t, WithSessionOptions(setdiscovery.WithCacheBound(64)))
+	for _, name := range c.Names() {
+		oracle, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres := resolve(t, plain.URL, CreateSessionRequest{}, oracle)
+		bres := resolve(t, bounded.URL, CreateSessionRequest{}, oracle)
+		if pres.Target != name || bres.Target != name {
+			t.Fatalf("target %s: plain found %q, bounded found %q", name, pres.Target, bres.Target)
+		}
+		if pres.Questions != bres.Questions {
+			t.Fatalf("target %s: %d questions unbounded vs %d bounded",
+				name, pres.Questions, bres.Questions)
+		}
+	}
+}

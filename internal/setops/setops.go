@@ -38,17 +38,25 @@ func Contains(s []uint32, v uint32) bool {
 	return i < len(s) && s[i] == v
 }
 
-// Intersect returns the intersection of two normalized slices as a new slice.
+// Intersect returns the intersection of two normalized slices as a new
+// slice. It is IntersectInto against a fresh buffer.
 func Intersect(a, b []uint32) []uint32 {
+	return IntersectInto(make([]uint32, 0, min(len(a), len(b))), a, b)
+}
+
+// IntersectInto appends the intersection of two normalized slices to dst
+// and returns the extended slice — the destination-buffer variant of
+// Intersect for callers that reuse a buffer across calls (candidate mining,
+// superset filtering). It dispatches to the same galloping fast path as
+// Intersect when the inputs are very differently sized. dst must not alias
+// a or b. Pass dst[:0] to reuse its backing array.
+func IntersectInto(dst, a, b []uint32) []uint32 {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	// Galloping pays off when sizes are very different; linear merge
-	// otherwise.
 	if len(b) > 32*len(a) {
-		return intersectGallop(a, b)
+		return intersectGallopInto(dst, a, b)
 	}
-	out := make([]uint32, 0, min(len(a), len(b)))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -57,16 +65,17 @@ func Intersect(a, b []uint32) []uint32 {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
-func intersectGallop(small, big []uint32) []uint32 {
-	out := make([]uint32, 0, len(small))
+// intersectGallopInto intersects a small slice against a much larger one by
+// exponential search, appending matches to dst.
+func intersectGallopInto(dst []uint32, small, big []uint32) []uint32 {
 	lo := 0
 	for _, v := range small {
 		// Exponential search for v in big[lo:].
@@ -80,7 +89,7 @@ func intersectGallop(small, big []uint32) []uint32 {
 		}
 		idx := lo + sort.Search(hi-lo, func(i int) bool { return big[lo+i] >= v })
 		if idx < len(big) && big[idx] == v {
-			out = append(out, v)
+			dst = append(dst, v)
 			lo = idx + 1
 		} else {
 			lo = idx
@@ -89,7 +98,49 @@ func intersectGallop(small, big []uint32) []uint32 {
 			break
 		}
 	}
-	return out
+	return dst
+}
+
+// UnionInto appends the union of two normalized slices to dst and returns
+// the extended slice. dst must not alias a or b.
+func UnionInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// DiffInto appends a \ b for normalized slices to dst and returns the
+// extended slice. dst must not alias a or b.
+func DiffInto(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(dst, a[i:]...)
 }
 
 // IntersectCount returns |a ∩ b| without allocating.

@@ -17,7 +17,7 @@ type Excluder interface {
 
 // SelectExcluding implements Excluder for MostEven.
 func (s MostEven) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+	infos := s.infos(sub)
 	n := sub.Size()
 	found := false
 	var best dataset.Entity
@@ -36,7 +36,7 @@ func (s MostEven) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Enti
 // SelectExcluding implements Excluder for InfoGain. Exclusion filters the
 // candidates before the usual gain comparison.
 func (s InfoGain) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+	infos := s.infos(sub)
 	n := sub.Size()
 	found := false
 	var best dataset.Entity
@@ -56,7 +56,7 @@ func (s InfoGain) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Enti
 
 // SelectExcluding implements Excluder for Indg.
 func (s Indg) SelectExcluding(sub *dataset.Subset, excluded map[dataset.Entity]bool) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+	infos := s.infos(sub)
 	n := sub.Size()
 	found := false
 	var best dataset.Entity

@@ -23,14 +23,20 @@ import (
 // the paper's pruning removes. A memoised variant exists as an ablation to
 // show the speedup is not mere caching.
 type GainK struct {
-	k     int
-	memo  bool
-	cache *cache.Cache[float64] // nil unless memo; shared across siblings
+	k         int
+	memo      bool
+	noScratch bool
+	cache     *cache.Cache[float64] // nil unless memo; shared across siblings
 	// Evaluations counts entity evaluations across all recursion levels —
 	// a machine-independent work measure used alongside wall time. It is
 	// per-instance: siblings minted by New count their own work.
 	Evaluations int64
 	excluded    map[dataset.Entity]bool // active only during SelectExcluding
+
+	// scratch is live on siblings minted by New (see KLP.New): count
+	// arrays, candidate buffers and partition bitsets are reused across
+	// the whole lookahead, allocation-free in steady state.
+	scratch workerScratch
 }
 
 // NewGainK returns an unmemoised gain-k strategy. k must be ≥ 1.
@@ -50,13 +56,34 @@ func NewGainKMemo(k int) *GainK {
 }
 
 // New implements Factory: the sibling shares the entropy memo cache (when
-// memoised) but counts its own evaluations. Cached entropies are exact, so
-// sharing cannot change selections.
+// memoised) but counts its own evaluations and owns a private scratch
+// arena. Cached entropies are exact, so sharing cannot change selections.
 func (g *GainK) New() Strategy {
 	sibling := *g
 	sibling.Evaluations = 0
 	sibling.excluded = nil
+	sibling.scratch = workerScratch{}
+	if !g.noScratch {
+		sibling.scratch = newWorkerScratch()
+	}
 	return &sibling
+}
+
+// DisableScratch turns off scratch/pool reuse on minted siblings
+// (ablation and reference path; selections are identical either way).
+func (g *GainK) DisableScratch() *GainK {
+	g.noScratch = true
+	g.scratch = workerScratch{}
+	return g
+}
+
+// SetCacheBound replaces the memo cache (when memoised) with a bounded one
+// holding at most (approximately) n entries under clock eviction. Call on
+// the factory before minting siblings. A no-op for the unmemoised variant.
+func (g *GainK) SetCacheBound(n int) {
+	if g.cache != nil {
+		g.cache = cache.NewBounded[float64](n)
+	}
 }
 
 // Name implements Strategy.
@@ -72,7 +99,7 @@ func (g *GainK) Select(sub *dataset.Subset) (dataset.Entity, bool) {
 	if sub.Size() <= 1 {
 		return 0, false
 	}
-	cands := candidates(sub, 0)
+	cands := g.scratch.candidatesAt(0, sub, 0)
 	if len(cands) == 0 {
 		return 0, false
 	}
@@ -85,9 +112,11 @@ func (g *GainK) Select(sub *dataset.Subset) (dataset.Entity, bool) {
 			continue
 		}
 		g.Evaluations++
-		with, without := sub.Partition(cand.entity)
+		with, without := g.scratch.partition(sub, cand.entity)
 		v := (float64(with.Size())*g.entropy(with, g.k-1) +
 			float64(without.Size())*g.entropy(without, g.k-1)) / n
+		with.Release()
+		without.Release()
 		if v < bestVal {
 			best, bestVal = cand.entity, v
 		}
@@ -112,7 +141,9 @@ func (g *GainK) entropy(sub *dataset.Subset, j int) float64 {
 			return v
 		}
 	}
-	cands := candidates(sub, 0)
+	// Depth-indexed candidate buffer: the top-level Select owns depth 0,
+	// the ent_j recursion level owns depth k−j.
+	cands := g.scratch.candidatesAt(g.k-j, sub, 0)
 	best := math.Inf(1)
 	if j == 1 {
 		// ent_1 needs only the split sizes, which the candidate counts
@@ -128,9 +159,11 @@ func (g *GainK) entropy(sub *dataset.Subset, j int) float64 {
 	} else {
 		for _, cand := range cands {
 			g.Evaluations++
-			with, without := sub.Partition(cand.entity)
+			with, without := g.scratch.partition(sub, cand.entity)
 			v := (float64(with.Size())*g.entropy(with, j-1) +
 				float64(without.Size())*g.entropy(without, j-1)) / float64(n)
+			with.Release()
+			without.Release()
 			if v < best {
 				best = v
 			}

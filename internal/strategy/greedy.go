@@ -6,21 +6,40 @@ import (
 	"setdiscovery/internal/dataset"
 )
 
+// baseScratch gives the stateless baselines an optional scratch for
+// allocation-free entity counting. The zero value (nil pointer) keeps the
+// baseline a plain stateless value running the allocating path; Factory.New
+// attaches a fresh scratch so each worker counts into private reusable
+// memory.
+type baseScratch struct {
+	sc *dataset.Scratch
+}
+
+// infos returns sub's informative entities, through the scratch when one is
+// attached. The slice aliases the scratch and is consumed before the next
+// call, matching how every baseline uses it.
+func (b baseScratch) infos(sub *dataset.Subset) []dataset.EntityCount {
+	if b.sc != nil {
+		return sub.InformativeEntitiesInto(b.sc)
+	}
+	return sub.InformativeEntities()
+}
+
 // MostEven is the greedy (ln n + 1)-approximation of Adler & Heeringa
 // (§4.2.1): pick the entity that splits the sub-collection most evenly.
 // Ties break by smallest entity ID for determinism.
-type MostEven struct{}
+type MostEven struct{ baseScratch }
 
 // Name implements Strategy.
 func (MostEven) Name() string { return "most-even" }
 
-// New implements Factory: MostEven is stateless, so every worker may use the
-// same value.
-func (s MostEven) New() Strategy { return s }
+// New implements Factory: selection is stateless, but each worker instance
+// carries its own counting scratch.
+func (s MostEven) New() Strategy { return MostEven{baseScratch{dataset.NewScratch()}} }
 
 // Select implements Strategy.
-func (MostEven) Select(sub *dataset.Subset) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+func (s MostEven) Select(sub *dataset.Subset) (dataset.Entity, bool) {
+	infos := s.infos(sub)
 	if len(infos) == 0 {
 		return 0, false
 	}
@@ -38,17 +57,18 @@ func (MostEven) Select(sub *dataset.Subset) (dataset.Entity, bool) {
 // class, so the gain of entity e splitting n sets into n1/n2 is
 // log2 n − (n1·log2 n1 + n2·log2 n2)/n, maximised when the split is most
 // even. Ties break by evenness then entity ID.
-type InfoGain struct{}
+type InfoGain struct{ baseScratch }
 
 // Name implements Strategy.
 func (InfoGain) Name() string { return "infogain" }
 
-// New implements Factory: InfoGain is stateless.
-func (s InfoGain) New() Strategy { return s }
+// New implements Factory: selection is stateless, but each worker instance
+// carries its own counting scratch.
+func (s InfoGain) New() Strategy { return InfoGain{baseScratch{dataset.NewScratch()}} }
 
 // Select implements Strategy.
-func (InfoGain) Select(sub *dataset.Subset) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+func (s InfoGain) Select(sub *dataset.Subset) (dataset.Entity, bool) {
+	infos := s.infos(sub)
 	if len(infos) == 0 {
 		return 0, false
 	}
@@ -82,17 +102,18 @@ func xlog2(n int) float64 {
 // eq 10): minimise n1(n1−1)/2 + n2(n2−1)/2, the number of set pairs a
 // question fails to separate. Ties break by smallest entity ID (evenness
 // ties are impossible: the pair count is strictly monotone in unevenness).
-type Indg struct{}
+type Indg struct{ baseScratch }
 
 // Name implements Strategy.
 func (Indg) Name() string { return "indg" }
 
-// New implements Factory: Indg is stateless.
-func (s Indg) New() Strategy { return s }
+// New implements Factory: selection is stateless, but each worker instance
+// carries its own counting scratch.
+func (s Indg) New() Strategy { return Indg{baseScratch{dataset.NewScratch()}} }
 
 // Select implements Strategy.
-func (Indg) Select(sub *dataset.Subset) (dataset.Entity, bool) {
-	infos := sub.InformativeEntities()
+func (s Indg) Select(sub *dataset.Subset) (dataset.Entity, bool) {
+	infos := s.infos(sub)
 	if len(infos) == 0 {
 		return 0, false
 	}

@@ -34,10 +34,17 @@ type KLP struct {
 
 	noSortPrune bool // ablation: disable the sorted early-stop (lines 14–15)
 	noULPrune   bool // ablation: disable recursive upper limits (lines 22, 29)
+	noScratch   bool // ablation: disable scratch/pool reuse on minted siblings
 
 	cache    *cache.Cache[cacheEntry]
 	recorder *Recorder
 	excluded map[dataset.Entity]bool // active only during SelectExcluding
+
+	// scratch is the per-instance reusable working memory (count arrays,
+	// candidate buffers, bitset pool) making steady-state Select
+	// allocation-free. It is live on siblings minted by New; a KLP value
+	// used directly as a Strategy runs the allocating fallback paths.
+	scratch workerScratch
 }
 
 type cacheEntry struct {
@@ -59,10 +66,16 @@ func NewKLP(m cost.Metric, k int) *KLP {
 // use of one goroutine, sharing the receiver's lookahead cache, recorder and
 // configuration. Cached bounds are exact or certified regardless of which
 // sibling computed them, so sharing never changes selections — it only
-// skips work (see the determinism argument on tree.Build).
+// skips work (see the determinism argument on tree.Build). Each sibling
+// carries its own scratch arena, so steady-state selection is
+// allocation-free without any synchronisation between siblings.
 func (s *KLP) New() Strategy {
 	sibling := *s
 	sibling.excluded = nil
+	sibling.scratch = workerScratch{}
+	if !s.noScratch {
+		sibling.scratch = newWorkerScratch()
+	}
 	return &sibling
 }
 
@@ -109,6 +122,26 @@ func (s *KLP) DisableSortPrune() *KLP { s.noSortPrune = true; return s }
 
 // DisableULPrune turns off the recursive upper-limit pruning (ablation).
 func (s *KLP) DisableULPrune() *KLP { s.noULPrune = true; return s }
+
+// DisableScratch turns off the per-sibling scratch arenas and bitset pool
+// (ablation and reference path): siblings minted by New then run the
+// original allocating hot path. Selections are identical either way — the
+// pooled-vs-unpooled equivalence tests pin this.
+func (s *KLP) DisableScratch() *KLP {
+	s.noScratch = true
+	s.scratch = workerScratch{}
+	return s
+}
+
+// SetCacheBound replaces the shared lookahead cache with a bounded one
+// holding at most (approximately) n entries under clock eviction, so
+// long-running processes can serve this factory's lineage indefinitely.
+// Call it on the factory before minting siblings: instances minted earlier
+// keep the previous cache. Evicted bounds are recomputed, never wrong, so
+// selections are unchanged.
+func (s *KLP) SetCacheBound(n int) {
+	s.cache = cache.NewBounded[cacheEntry](n)
+}
 
 // Instrument attaches a Recorder that collects per-node pruning statistics
 // (used to regenerate Table 4 and the §5.3.3 root-pruning rates). Siblings
@@ -192,7 +225,7 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 	}
 
 	n := sub.Size()
-	cands := candidates(sub, s.metric)
+	cands := s.scratch.candidatesAt(depth, sub, s.metric)
 	sortByLB1(cands)
 	if excluding {
 		kept := cands[:0]
@@ -235,46 +268,18 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 			ns.PrunedSort += len(cands) - i
 			break
 		}
-		with, without := sub.Partition(cand.entity)
-		n1, n2 := with.Size(), without.Size()
-
-		var l1 cost.Value
-		if n1 == 1 {
-			l1 = 0
-		} else {
-			ul1 := cost.Inf
-			if !s.noULPrune {
-				ul1 = cost.ULFirst(s.metric, ul, n, n2)
-			}
-			_, v, ok := s.search(with, k-1, ul1, depth+1)
-			if !ok {
-				// Lines 24–25: the first child alone already puts this
-				// entity at or above ul.
-				ns.AbortedUL++
-				continue
-			}
-			l1 = v
+		with, without := s.scratch.partition(sub, cand.entity)
+		l, aborted := s.childBounds(with, without, k, ul, depth, n)
+		// The children are pure lookahead state: hand their (pooled)
+		// bitsets back before moving to the next candidate.
+		with.Release()
+		without.Release()
+		if aborted {
+			// Lines 24–25 / 31–32: a child alone already puts this entity
+			// at or above ul.
+			ns.AbortedUL++
+			continue
 		}
-
-		var l2 cost.Value
-		if n2 == 1 {
-			l2 = 0
-		} else {
-			ul2 := cost.Inf
-			if !s.noULPrune {
-				ul2 = cost.ULSecond(s.metric, ul, n, l1)
-			}
-			_, v, ok := s.search(without, k-1, ul2, depth+1)
-			if !ok {
-				// Lines 31–32.
-				ns.AbortedUL++
-				continue
-			}
-			l2 = v
-		}
-
-		// Line 33: lift the children's (k−1)-step bounds (eqs 6–7).
-		l := cost.Combine(s.metric, n1, l1, n2, l2)
 		ns.Evaluated++
 		if l < ul {
 			ul = l
@@ -290,6 +295,47 @@ func (s *KLP) search(sub *dataset.Subset, k int, ul cost.Value, depth int) (ent 
 		s.recorder.record(ns)
 	}
 	return ent, ul, found
+}
+
+// childBounds runs lines 16–33 of Algorithm 1 for one candidate split: the
+// (k−1)-step bounds of both children under the derived upper limits, lifted
+// by cost.Combine. aborted reports that a child's recursive search was cut
+// by its upper limit (the candidate cannot beat the incumbent).
+func (s *KLP) childBounds(with, without *dataset.Subset, k int, ul cost.Value, depth, n int) (l cost.Value, aborted bool) {
+	n1, n2 := with.Size(), without.Size()
+
+	var l1 cost.Value
+	if n1 == 1 {
+		l1 = 0
+	} else {
+		ul1 := cost.Inf
+		if !s.noULPrune {
+			ul1 = cost.ULFirst(s.metric, ul, n, n2)
+		}
+		_, v, ok := s.search(with, k-1, ul1, depth+1)
+		if !ok {
+			return 0, true
+		}
+		l1 = v
+	}
+
+	var l2 cost.Value
+	if n2 == 1 {
+		l2 = 0
+	} else {
+		ul2 := cost.Inf
+		if !s.noULPrune {
+			ul2 = cost.ULSecond(s.metric, ul, n, l1)
+		}
+		_, v, ok := s.search(without, k-1, ul2, depth+1)
+		if !ok {
+			return 0, true
+		}
+		l2 = v
+	}
+
+	// Line 33: lift the children's (k−1)-step bounds (eqs 6–7).
+	return cost.Combine(s.metric, n1, l1, n2, l2), false
 }
 
 // NodeStats reports how much of one node's candidate-entity loop the pruning

@@ -1,0 +1,47 @@
+package strategy
+
+import (
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+)
+
+// workerScratch bundles the reusable per-instance state behind the
+// allocation-free hot path: the dataset scratch (count arrays, EntityCount
+// buffer, bitset pool) and a depth-indexed stack of candidate buffers so
+// the lookahead recursion levels never stomp each other's candidate lists.
+//
+// A zero workerScratch (nil sc) falls back to the allocating paths — that
+// is the behaviour of strategy values used directly rather than minted
+// through Factory.New, and of the DisableScratch ablation.
+type workerScratch struct {
+	sc        *dataset.Scratch
+	candStack [][]candidate
+}
+
+// newWorkerScratch returns a workerScratch with live reusable state.
+func newWorkerScratch() workerScratch {
+	return workerScratch{sc: dataset.NewScratch()}
+}
+
+// candidatesAt fills the depth-th candidate buffer with sub's informative
+// entities under metric m. The returned slice is owned by the caller until
+// the next candidatesAt call at the same depth; deeper recursion uses
+// deeper buffers and never touches it.
+func (w *workerScratch) candidatesAt(depth int, sub *dataset.Subset, m cost.Metric) []candidate {
+	for len(w.candStack) <= depth {
+		w.candStack = append(w.candStack, nil)
+	}
+	cands := appendCandidates(w.candStack[depth], sub, m, w.sc)
+	w.candStack[depth] = cands
+	return cands
+}
+
+// partition splits sub by e, through the pool when scratch state is live.
+// Pooled results must be handed back with Release (a no-op on the
+// allocating fallback, so callers release unconditionally).
+func (w *workerScratch) partition(sub *dataset.Subset, e dataset.Entity) (with, without *dataset.Subset) {
+	if w.sc != nil {
+		return sub.PartitionScratch(e, w.sc)
+	}
+	return sub.Partition(e)
+}

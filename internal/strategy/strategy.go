@@ -12,7 +12,7 @@ package strategy
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"setdiscovery/internal/cost"
@@ -62,33 +62,57 @@ type candidate struct {
 // candidates lists the informative entities of sub with LB1 under metric m,
 // in entity-ID order.
 func candidates(sub *dataset.Subset, m cost.Metric) []candidate {
-	infos := sub.InformativeEntities()
+	return appendCandidates(nil, sub, m, nil)
+}
+
+// appendCandidates is the buffer-reusing core of candidates: it resets buf
+// and fills it with the informative entities of sub (counted through sc
+// when non-nil, allocation-free in steady state), returning the possibly
+// regrown slice. The result is valid until sc's next use only so far as it
+// holds copies — the EntityCount scratch slice is consumed before return.
+func appendCandidates(buf []candidate, sub *dataset.Subset, m cost.Metric, sc *dataset.Scratch) []candidate {
+	var infos []dataset.EntityCount
+	if sc != nil {
+		infos = sub.InformativeEntitiesInto(sc)
+	} else {
+		infos = sub.InformativeEntities()
+	}
 	n := sub.Size()
-	out := make([]candidate, len(infos))
-	for i, ec := range infos {
-		out[i] = candidate{
+	buf = slices.Grow(buf[:0], len(infos))
+	for _, ec := range infos {
+		buf = append(buf, candidate{
 			entity: ec.Entity,
 			with:   ec.Count,
 			lb1:    cost.LB1(m, ec.Count, n-ec.Count),
 			uneven: abs(2*ec.Count - n),
-		}
+		})
 	}
-	return out
+	return buf
 }
 
 // sortByLB1 orders candidates by 1-step bound, then evenness, then entity ID
 // (Algorithm 1 line 11; see DESIGN.md on why LB1 is the primary key rather
-// than evenness).
+// than evenness). slices.SortFunc instead of sort.Slice: the comparator is
+// monomorphised and the swap loses the reflect indirection, on the hottest
+// sort in the engine.
 func sortByLB1(cands []candidate) {
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
+	slices.SortFunc(cands, func(a, b candidate) int {
 		if a.lb1 != b.lb1 {
-			return a.lb1 < b.lb1
+			if a.lb1 < b.lb1 {
+				return -1
+			}
+			return 1
 		}
 		if a.uneven != b.uneven {
-			return a.uneven < b.uneven
+			return a.uneven - b.uneven
 		}
-		return a.entity < b.entity
+		if a.entity < b.entity {
+			return -1
+		}
+		if a.entity > b.entity {
+			return 1
+		}
+		return 0
 	})
 }
 

@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"bytes"
+	"testing"
+
+	"setdiscovery/internal/bitset"
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/synth"
+)
+
+func pooledTestCollection(t testing.TB) *dataset.Collection {
+	t.Helper()
+	c, err := synth.Generate(synth.Params{N: 80, SizeMin: 10, SizeMax: 16, Alpha: 0.85, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func serializeTree(t *testing.T, tr *Tree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPooledBuildByteIdentical is the tentpole equivalence proof at the
+// tree layer: the pooled build (scratch arenas, pooled partitions, context
+// recycling) produces a byte-identical serialized tree to the original
+// allocating build, across strategies and worker counts.
+func TestPooledBuildByteIdentical(t *testing.T) {
+	c := pooledTestCollection(t)
+	sub := c.All()
+	factories := []struct {
+		name     string
+		pooled   func() strategy.Factory
+		unpooled func() strategy.Factory
+	}{
+		{"klp-k2",
+			func() strategy.Factory { return strategy.NewKLP(cost.AD, 2) },
+			func() strategy.Factory { return strategy.NewKLP(cost.AD, 2).DisableScratch() }},
+		{"klple-k3-q8",
+			func() strategy.Factory { return strategy.NewKLPLE(cost.AD, 3, 8) },
+			func() strategy.Factory { return strategy.NewKLPLE(cost.AD, 3, 8).DisableScratch() }},
+		{"infogain",
+			func() strategy.Factory { return strategy.InfoGain{} },
+			func() strategy.Factory { return strategy.InfoGain{} }},
+		{"gaink-2",
+			func() strategy.Factory { return strategy.NewGainK(2) },
+			func() strategy.Factory { return strategy.NewGainK(2).DisableScratch() }},
+	}
+	for _, f := range factories {
+		t.Run(f.name, func(t *testing.T) {
+			ref, err := Build(sub, f.unpooled(), WithParallelism(1), WithPooling(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serializeTree(t, ref)
+			for _, workers := range []int{1, 2, 4} {
+				got, err := Build(sub, f.pooled(), WithParallelism(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(serializeTree(t, got), want) {
+					t.Fatalf("pooled build (workers=%d) differs from unpooled reference", workers)
+				}
+				if err := got.Validate(sub); err != nil {
+					t.Fatalf("pooled build (workers=%d): %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildReturnsEveryPooledBitset is the satellite leak check: after a
+// full build — sequential and parallel — every bitset drawn from the
+// injected pool has been handed back.
+func TestBuildReturnsEveryPooledBitset(t *testing.T) {
+	c := pooledTestCollection(t)
+	sub := c.All()
+	for _, workers := range []int{1, 2, 4} {
+		pool := bitset.NewPool()
+		if _, err := Build(sub, strategy.NewKLP(cost.AD, 2), WithParallelism(workers), withSharedPool(pool)); err != nil {
+			t.Fatal(err)
+		}
+		st := pool.Stats()
+		if st.Gets == 0 {
+			t.Fatalf("workers=%d: build drew nothing from the injected pool", workers)
+		}
+		if out := st.Outstanding(); out != 0 {
+			t.Fatalf("workers=%d: %d pooled bitsets leaked (%d gets, %d puts)",
+				workers, out, st.Gets, st.Puts)
+		}
+	}
+}
+
+// TestBuildPoolSteadyState: the pool's free lists stay bounded by tree
+// depth × workers, not by node count — the whole point of releasing.
+func TestBuildPoolSteadyState(t *testing.T) {
+	c := pooledTestCollection(t)
+	sub := c.All()
+	pool := bitset.NewPool()
+	tr, err := Build(sub, strategy.NewKLP(cost.AD, 2), WithParallelism(2), withSharedPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upper bound: two live subsets per ancestor level per worker context,
+	// with slack for fork-join overlap. A per-node leak would show up as
+	// free ≈ 2·internal nodes (158 here).
+	limit := 4 * (tr.Height() + 2) * 2
+	if st := pool.Stats(); st.Free > limit {
+		t.Fatalf("pool free list = %d bitsets; want ≤ %d (depth-bounded)", st.Free, limit)
+	}
+}
+
+// TestBuildErrorPathsStillWork: a strategy failure surfaces identically
+// through the pooled build.
+func TestBuildErrorPathsStillWork(t *testing.T) {
+	c := pooledTestCollection(t)
+	if _, err := Build(c.SubsetOf(nil), strategy.NewKLP(cost.AD, 2)); err == nil {
+		t.Fatal("empty sub-collection did not fail")
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync"
 
+	"setdiscovery/internal/bitset"
 	"setdiscovery/internal/cost"
 	"setdiscovery/internal/dataset"
 	"setdiscovery/internal/strategy"
@@ -42,7 +44,9 @@ type Tree struct {
 type BuildOption func(*buildConfig)
 
 type buildConfig struct {
-	workers int
+	workers  int
+	unpooled bool
+	pool     *bitset.Pool
 }
 
 // WithParallelism bounds the worker pool of Build at n goroutines. n ≤ 0
@@ -50,6 +54,21 @@ type buildConfig struct {
 // built tree is identical for every n (see Build).
 func WithParallelism(n int) BuildOption {
 	return func(c *buildConfig) { c.workers = n }
+}
+
+// WithPooling toggles the pooled partition path of Build (default on).
+// Turning it off restores the original allocating build — same tree,
+// byte for byte, just slower — which exists as the reference for the
+// pooled-vs-unpooled equivalence tests and for memory-profiling the pool
+// itself out of the picture.
+func WithPooling(on bool) BuildOption {
+	return func(c *buildConfig) { c.unpooled = !on }
+}
+
+// withSharedPool injects the bitset pool the build draws from, so tests
+// can assert every pooled bitset is returned once the tree is built.
+func withSharedPool(p *bitset.Pool) BuildOption {
+	return func(c *buildConfig) { c.pool = p }
 }
 
 // Build runs Algorithm 3: construct a decision tree for the sub-collection
@@ -81,25 +100,84 @@ func Build(sub *dataset.Subset, f strategy.Factory, opts ...BuildOption) (*Tree,
 		// extra ones.
 		b.sem = make(chan struct{}, cfg.workers-1)
 	}
-	root, err := b.build(sub, f.New())
+	var sc *dataset.Scratch
+	if !cfg.unpooled {
+		// One concurrency-safe bitset pool is shared by every worker's
+		// scratch, so bitsets freed by one worker serve another's next
+		// partition; each subset is still created and released by the same
+		// goroutine (the parent releases after joining its fork). The
+		// build reaches an allocation-free steady state bounded by tree
+		// depth × workers instead of churning two bitsets per node visit.
+		b.pool = cfg.pool
+		if b.pool == nil {
+			b.pool = bitset.NewPool()
+		}
+		sc = dataset.NewScratchWithPool(b.pool)
+	}
+	root, err := b.build(sub, f.New(), sc)
 	if err != nil {
 		return nil, err
 	}
 	return &Tree{Root: root, Leaves: sub.Size()}, nil
 }
 
-// builder carries the shared state of one Build call: the strategy factory
-// and the token semaphore bounding extra worker goroutines (nil when the
-// build is sequential).
+// builder carries the shared state of one Build call: the strategy factory,
+// the token semaphore bounding extra worker goroutines (nil when the build
+// is sequential), and the shared bitset pool behind the per-worker
+// scratches (nil when pooling is disabled).
 type builder struct {
 	factory strategy.Factory
 	sem     chan struct{}
+	pool    *bitset.Pool
+
+	// ctxFree recycles worker contexts across forks. A fork happens every
+	// time a semaphore token is free — potentially once per node — while
+	// the number of simultaneously live contexts is bounded by the worker
+	// count, so minting a fresh strategy sibling (which now carries a whole
+	// scratch arena) per fork would allocate O(nodes) arenas where
+	// O(workers) suffice.
+	ctxMu   sync.Mutex
+	ctxFree []*workerCtx
 }
 
-// build constructs the subtree for sub. sel is owned by the calling
+// workerCtx is the per-goroutine working state of one build worker: its
+// strategy sibling and its partition scratch.
+type workerCtx struct {
+	sel strategy.Strategy
+	sc  *dataset.Scratch
+}
+
+// getCtx pops a recycled worker context or mints a new one.
+func (b *builder) getCtx() *workerCtx {
+	b.ctxMu.Lock()
+	if n := len(b.ctxFree); n > 0 {
+		ctx := b.ctxFree[n-1]
+		b.ctxFree = b.ctxFree[:n-1]
+		b.ctxMu.Unlock()
+		return ctx
+	}
+	b.ctxMu.Unlock()
+	ctx := &workerCtx{sel: b.factory.New()}
+	if b.pool != nil {
+		ctx.sc = dataset.NewScratchWithPool(b.pool)
+	}
+	return ctx
+}
+
+// putCtx hands a worker context back for the next fork.
+func (b *builder) putCtx(ctx *workerCtx) {
+	b.ctxMu.Lock()
+	b.ctxFree = append(b.ctxFree, ctx)
+	b.ctxMu.Unlock()
+}
+
+// build constructs the subtree for sub. sel and sc are owned by the calling
 // goroutine; when a branch is forked off, the new goroutine mints its own
-// sibling strategy from the factory.
-func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, error) {
+// sibling strategy from the factory and its own scratch over the shared
+// pool. sub is owned by the caller; the two partition subsets created here
+// are released once both children are materialised, so steady-state
+// construction reuses a depth-bounded set of bitsets.
+func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy, sc *dataset.Scratch) (*Node, error) {
 	// Lines 1–3: a singleton collection is a leaf.
 	if sub.Size() == 1 {
 		return &Node{Set: sub.Single()}, nil
@@ -111,7 +189,12 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, erro
 			sel.Name(), sub.Size())
 	}
 	// Lines 6–7: split.
-	with, without := sub.Partition(e)
+	var with, without *dataset.Subset
+	if sc != nil {
+		with, without = sub.PartitionScratch(e, sc)
+	} else {
+		with, without = sub.Partition(e)
+	}
 	if with.Size() == 0 || without.Size() == 0 {
 		return nil, fmt.Errorf("tree: strategy %s proposed non-splitting entity %d",
 			sel.Name(), e)
@@ -119,8 +202,9 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, erro
 	// Lines 8–10: recurse. If a worker token is free, the Yes branch runs on
 	// its own goroutine while this one continues with the No branch;
 	// otherwise both run inline. The fork-join is structured — the parent
-	// always waits for its forked child — so errors propagate and no
-	// goroutine outlives Build.
+	// always waits for its forked child — so errors propagate, no goroutine
+	// outlives Build, and the parent can safely recycle both partition
+	// subsets after the join.
 	if b.sem != nil {
 		select {
 		case b.sem <- struct{}{}:
@@ -129,10 +213,12 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, erro
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
-				yes, yerr = b.build(with, b.factory.New())
+				ctx := b.getCtx()
+				yes, yerr = b.build(with, ctx.sel, ctx.sc)
+				b.putCtx(ctx)
 				<-b.sem
 			}()
-			no, nerr := b.build(without, sel)
+			no, nerr := b.build(without, sel, sc)
 			<-done
 			if yerr != nil {
 				return nil, yerr
@@ -140,18 +226,22 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy) (*Node, erro
 			if nerr != nil {
 				return nil, nerr
 			}
+			with.Release()
+			without.Release()
 			return &Node{Entity: e, Yes: yes, No: no}, nil
 		default:
 		}
 	}
-	yes, err := b.build(with, sel)
+	yes, err := b.build(with, sel, sc)
 	if err != nil {
 		return nil, err
 	}
-	no, err := b.build(without, sel)
+	no, err := b.build(without, sel, sc)
 	if err != nil {
 		return nil, err
 	}
+	with.Release()
+	without.Release()
 	return &Node{Entity: e, Yes: yes, No: no}, nil
 }
 

@@ -173,6 +173,12 @@ func SeedQueries(c *dataset.Collection, minSets, maxQueries int, seed uint64) []
 	// dominate while a few large ones remain.
 	seen := make(map[[2]dataset.Entity]bool)
 	var mined []SeedQuery
+	// Pairs are intersected into one buffer reused across the whole mining
+	// pass. Versus counting, this materialises the co-occurring set list
+	// (cheap: only matches are written), and IntersectInto's galloping
+	// dispatch makes the frequent head×tail pairs sublinear in the longer
+	// posting list, which a linear merge count never was.
+	cobuf := make([]uint32, 0, 1024)
 	record := func(a, b dataset.Entity) {
 		if a == b {
 			return
@@ -185,7 +191,8 @@ func SeedQueries(c *dataset.Collection, minSets, maxQueries int, seed uint64) []
 			return
 		}
 		seen[key] = true
-		if n := setops.IntersectCount(c.Postings(a), c.Postings(b)); n >= minSets {
+		cobuf = setops.IntersectInto(cobuf[:0], c.Postings(a), c.Postings(b))
+		if n := len(cobuf); n >= minSets {
 			mined = append(mined, SeedQuery{A: a, B: b, Size: n})
 		}
 	}

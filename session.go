@@ -27,6 +27,7 @@ type sessionCore interface {
 	PendingConfirm() (*dataset.Set, bool)
 	Answer(discovery.Answer) error
 	Result() (*discovery.Result, error)
+	Questions() int
 	Done() bool
 }
 
@@ -129,12 +130,10 @@ func (s *Session) Done() bool { return s.s.Done() }
 
 // Questions returns the number of questions counted so far (membership
 // answers received, plus any pending confirmation). Unlike Result it does
-// not materialise the candidate list, so it is cheap on every round-trip,
-// and it keeps counting even when the session ended in a terminal error.
-func (s *Session) Questions() int {
-	res, _ := s.s.Result()
-	return res.Questions
-}
+// not materialise the candidate list or detach the live candidate set from
+// the session's subset recycling, so it is cheap on every round-trip, and
+// it keeps counting even when the session ended in a terminal error.
+func (s *Session) Questions() int { return s.s.Questions() }
 
 // Result returns the session outcome: final once Done, otherwise a progress
 // snapshot (candidates narrowed so far, questions asked, empty Target). A

@@ -83,10 +83,13 @@ type Collection struct {
 
 // strategyKey identifies a strategy configuration; options that do not
 // affect entity selection (batching, halting, backtracking) are excluded.
+// The cache bound is part of the key: a bounded and an unbounded factory
+// must not share one cache.
 type strategyKey struct {
 	name   string
 	metric Metric
 	k, q   int
+	bound  int
 }
 
 // factory returns the shared strategy factory for cfg, creating it on first
@@ -95,7 +98,7 @@ type strategyKey struct {
 // validated identically no matter which spelling arrives first.
 func (c *Collection) factory(cfg config) (strategy.Factory, error) {
 	name := strings.ToLower(cfg.strategyName)
-	key := strategyKey{name, cfg.metric, cfg.k, cfg.q}
+	key := strategyKey{name, cfg.metric, cfg.k, cfg.q, cfg.cacheBound}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if f, ok := c.factories[key]; ok {
@@ -104,6 +107,14 @@ func (c *Collection) factory(cfg config) (strategy.Factory, error) {
 	f, err := strategy.New(name, cfg.metric, cfg.k, cfg.q)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.cacheBound > 0 {
+		// Applied before the factory is shared or mints any sibling, so
+		// the whole lineage runs against the bounded cache. Strategies
+		// without a cache (the greedy baselines) simply ignore the option.
+		if b, ok := f.(interface{ SetCacheBound(int) }); ok {
+			b.SetCacheBound(cfg.cacheBound)
+		}
 	}
 	if c.factories == nil {
 		c.factories = make(map[strategyKey]strategy.Factory)
@@ -187,6 +198,7 @@ type config struct {
 	maxQuestions int
 	batchSize    int
 	parallelism  int
+	cacheBound   int
 	backtrack    bool
 	confirm      bool
 }
@@ -232,6 +244,25 @@ func WithBacktracking() Option {
 // identical for every n. Discovery ignores the option — an interactive
 // session asks one question at a time.
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithCacheBound caps the strategy's shared lookahead cache at
+// (approximately) n entries with clock eviction, instead of the default
+// unbounded growth. Sessions and builds over one collection with equal
+// options — including the bound — share one factory, so the cap is
+// per-configuration, not per-session. Evicted entries are recomputed, never
+// wrong: selections are identical with or without a bound. Set it in
+// long-running serving processes (setdiscd exposes it as -cache-bound) so
+// memory stays flat no matter how many sub-collections the workload
+// touches; n ≤ 0 means unbounded.
+func WithCacheBound(n int) Option {
+	return func(c *config) {
+		// Normalised so every "unbounded" spelling shares one factory key.
+		if n < 0 {
+			n = 0
+		}
+		c.cacheBound = n
+	}
+}
 
 // Tree is a constructed decision tree over a collection. It is immutable
 // and safe for concurrent use: any number of goroutines may walk one shared
