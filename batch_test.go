@@ -1,0 +1,209 @@
+package setdiscovery
+
+import (
+	"errors"
+	"testing"
+)
+
+// driveBatchRounds answers every live member once per round from its
+// oracle until the whole batch is done, using the round-based protocol a
+// serving layer would use (AnswerMember + EndRound).
+func driveBatchRounds(t *testing.T, b *Batch, oracles []Oracle) {
+	t.Helper()
+	for !b.Done() {
+		stepped := false
+		for i := 0; i < b.Len(); i++ {
+			q, done := b.Question(i)
+			if done {
+				continue
+			}
+			a := No
+			if q.IsConfirm() {
+				if c, ok := oracles[i].(Confirmer); ok && c.Confirm(q.Confirm) {
+					a = Yes
+				}
+			} else {
+				a = oracles[i].Answer(q.Entity)
+			}
+			if err := b.AnswerMember(i, a); err != nil {
+				t.Fatalf("member %d: %v", i, err)
+			}
+			stepped = true
+		}
+		b.EndRound()
+		if !stepped {
+			t.Fatal("batch not done but no member had a pending question")
+		}
+	}
+}
+
+// TestBatchMatchesSessions pins the public batch to the public sessions: a
+// batch with one member per set of the paper collection asks every member
+// exactly the questions its solo Session twin asks and reaches identical
+// results, while sharing a nonzero amount of selection work.
+func TestBatchMatchesSessions(t *testing.T) {
+	c := paperCollection(t)
+	names := c.Names()
+	seeds := make([]Seed, len(names))
+	b, err := c.NewBatch(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracles := make([]Oracle, len(names))
+	for i, name := range names {
+		o, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = o
+	}
+	driveBatchRounds(t, b, oracles)
+	for i, name := range names {
+		res, err := b.Result(i)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if res.Target != name {
+			t.Fatalf("member %d discovered %q, want %q", i, res.Target, name)
+		}
+		// Solo twin: same options, same oracle.
+		s, err := c.NewSession(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var asked []string
+		for {
+			q, done := s.Next()
+			if done {
+				break
+			}
+			asked = append(asked, q.Entity)
+			if err := s.Answer(oracles[i].Answer(q.Entity)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		soloRes, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if soloRes.Target != res.Target || soloRes.Questions != res.Questions ||
+			soloRes.Interactions != res.Interactions {
+			t.Fatalf("member %d diverged from solo session: batch %+v vs solo %+v",
+				i, res, soloRes)
+		}
+	}
+	if st := b.Stats(); st.SelectionsShared == 0 {
+		t.Errorf("no selections were shared: %+v", st)
+	}
+}
+
+// TestBatchIdenticalSeedsShareAllWork: members with identical seeds and
+// identical answers cost one selection per round in total.
+func TestBatchIdenticalSeedsShareAllWork(t *testing.T) {
+	c := paperCollection(t)
+	name := c.Names()[0]
+	const n = 16
+	b, err := c.NewBatch(make([]Seed, n), WithStrategy("most-even"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.TargetOracle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracles := make([]Oracle, n)
+	for i := range oracles {
+		oracles[i] = o
+	}
+	driveBatchRounds(t, b, oracles)
+	st := b.Stats()
+	if st.Selections == 0 {
+		t.Fatal("no selections computed")
+	}
+	if want := int64(n-1) * st.Selections; st.SelectionsShared != want {
+		t.Fatalf("SelectionsShared = %d, want %d ((n-1) x Selections=%d)",
+			st.SelectionsShared, want, st.Selections)
+	}
+	for i := 0; i < n; i++ {
+		res, err := b.Result(i)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if res.Target != name {
+			t.Fatalf("member %d discovered %q, want %q", i, res.Target, name)
+		}
+	}
+}
+
+// TestBatchSeedsAndErrors covers the construction and misuse contract:
+// per-member seeds narrow the start state, unknown seed entities fail
+// construction, out-of-range and already-done members fail Answer.
+func TestBatchSeedsAndErrors(t *testing.T) {
+	c := paperCollection(t)
+	if _, err := c.NewBatch(nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	if _, err := c.NewBatch([]Seed{{Initial: []string{"no-such-entity"}}}); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("unknown seed entity: got %v, want ErrNoCandidates", err)
+	}
+	if _, err := c.NewBatch([]Seed{{}}, WithStrategy("bogus")); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+
+	b, err := c.NewBatch([]Seed{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if err := b.Answer(MemberAnswer{Member: 5, Answer: Yes}); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+	name := c.Names()[0]
+	o, err := c.TargetOracle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveBatchRounds(t, b, []Oracle{o, o})
+	if !b.Done() || !b.MemberDone(0) {
+		t.Fatal("batch not done after driving all members")
+	}
+	if err := b.Answer(MemberAnswer{Member: 0, Answer: Yes}); err == nil {
+		t.Fatal("answering a finished member accepted")
+	}
+	if q, done := b.Question(0); !done || q.Entity != "" {
+		t.Fatalf("finished member still has question %+v", q)
+	}
+	if b.MemberQuestions(0) == 0 {
+		t.Fatal("member question count not maintained")
+	}
+}
+
+// TestBatchAccessorBounds pins the misuse contract: read accessors panic
+// on out-of-range members (like slice indexing), the answering path errors.
+func TestBatchAccessorBounds(t *testing.T) {
+	c := paperCollection(t)
+	b, err := c.NewBatch([]Seed{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"Question":        func() { b.Question(1) },
+		"MemberDone":      func() { b.MemberDone(-1) },
+		"MemberQuestions": func() { b.MemberQuestions(7) },
+		"Result":          func() { b.Result(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with out-of-range member did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if err := b.AnswerMember(1, Yes); err == nil {
+		t.Error("AnswerMember with out-of-range member did not error")
+	}
+}

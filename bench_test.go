@@ -260,6 +260,109 @@ func BenchmarkSessionSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchDiscovery measures the batch scheduler's amortisation: 64
+// concurrent sessions with identical seeds and identical answers cost one
+// selection computation per round in a Batch ("selcomp/sess" ≈ a single
+// session's count) versus 64× as independent sessions. The mixed variant
+// gives every member its own target, so states diverge round by round and
+// sharing degrades gracefully instead of vanishing. Compare ns/op across
+// the variants for the wall-clock side of the same story.
+func BenchmarkBatchDiscovery(b *testing.B) {
+	c := benchCollection(b)
+	const n = 64
+	target := c.Set(c.Len() - 1)
+
+	driveBatch := func(b *testing.B, bt *discovery.Batch, oracles []discovery.Oracle) {
+		b.Helper()
+		for !bt.Done() {
+			for i := 0; i < bt.Len(); i++ {
+				m := bt.Member(i)
+				if m.Done() {
+					continue
+				}
+				if set, ok := m.PendingConfirm(); ok {
+					a := discovery.No
+					if conf, can := oracles[i].(discovery.Confirmer); can && conf.Confirm(set) {
+						a = discovery.Yes
+					}
+					if err := m.Answer(a); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				e, done := m.Next()
+				if done {
+					continue
+				}
+				if err := m.Answer(oracles[i].Answer(e)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bt.EndRound()
+		}
+	}
+
+	b.Run("batch-64-identical", func(b *testing.B) {
+		f := strategy.NewKLP(cost.AD, 2)
+		oracles := make([]discovery.Oracle, n)
+		for i := range oracles {
+			oracles[i] = discovery.TargetOracle{Target: target}
+		}
+		b.ReportAllocs()
+		var st discovery.BatchStats
+		for i := 0; i < b.N; i++ {
+			bt, err := discovery.NewBatch(c, make([][]dataset.Entity, n), f, discovery.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			driveBatch(b, bt, oracles)
+			st = bt.Stats()
+		}
+		b.ReportMetric(float64(st.Selections)/n, "selcomp/sess")
+		b.ReportMetric(float64(st.Selections+st.SelectionsShared)/float64(st.Selections), "amortisation")
+	})
+
+	b.Run("batch-64-mixed", func(b *testing.B) {
+		f := strategy.NewKLP(cost.AD, 2)
+		oracles := make([]discovery.Oracle, n)
+		for i := range oracles {
+			oracles[i] = discovery.TargetOracle{Target: c.Set(i % c.Len())}
+		}
+		b.ReportAllocs()
+		var st discovery.BatchStats
+		for i := 0; i < b.N; i++ {
+			bt, err := discovery.NewBatch(c, make([][]dataset.Entity, n), f, discovery.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			driveBatch(b, bt, oracles)
+			st = bt.Stats()
+		}
+		b.ReportMetric(float64(st.Selections)/n, "selcomp/sess")
+		b.ReportMetric(float64(st.Selections+st.SelectionsShared)/float64(st.Selections), "amortisation")
+	})
+
+	b.Run("independent-64", func(b *testing.B) {
+		f := strategy.NewKLP(cost.AD, 2)
+		b.ReportAllocs()
+		selections := 0
+		for i := 0; i < b.N; i++ {
+			selections = 0
+			for j := 0; j < n; j++ {
+				res, err := discovery.Run(c, nil, discovery.TargetOracle{Target: target},
+					discovery.Options{Strategy: f.New()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One selection computation per interaction: the
+				// independent-session baseline for selcomp/sess.
+				selections += res.Interactions
+			}
+		}
+		b.ReportMetric(float64(selections)/n, "selcomp/sess")
+	})
+}
+
 // BenchmarkPartition measures sub-collection splitting via the inverted
 // index (the inner loop of every lookahead step).
 func BenchmarkPartition(b *testing.B) {

@@ -7,6 +7,7 @@
 //
 //	setdiscd -collection sets.txt [-collection name=other.txt ...]
 //	         [-addr :8080] [-ttl 30m] [-max-sessions 16384] [-cache-bound n]
+//	         [-max-batch-members 1024]
 //	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
 //
 // Each -collection flag registers one collection; "name=path" sets the
@@ -23,6 +24,16 @@
 //	curl -s -X POST localhost:8080/v1/sessions/$ID/answer -d '{"answer":"yes"}'
 //	...                                       # until "done":true
 //	curl -s localhost:8080/v1/sessions/$ID/result
+//
+// Batch discovery steps many sessions with one POST per round; members at
+// the same candidate-set state share one selection/partition computation
+// (see the README "Batch discovery" section):
+//
+//	curl -s -X POST localhost:8080/v1/collections/paper/batches \
+//	     -d '{"seeds":[{"initial":["b"]},{"initial":["b"]}]}'
+//	curl -s -X POST localhost:8080/v1/batches/$BID/answers \
+//	     -d '{"answers":[{"member":0,"answer":"yes"},{"member":1,"answer":"no"}]}'
+//	curl -s localhost:8080/v1/batches/$BID/results
 package main
 
 import (
@@ -58,7 +69,8 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		ttl          = flag.Duration("ttl", server.DefaultTTL, "idle session lifetime")
-		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (batch members included)")
+		maxBatch     = flag.Int("max-batch-members", server.DefaultMaxBatchMembers, "maximum members per batch request")
 		prebuild     = flag.Bool("prebuild", false, "build and register a decision tree per collection at startup")
 		strategyName = flag.String("strategy", "klp", "entity selection strategy for -prebuild trees")
 		k            = flag.Int("k", 2, "lookahead steps for -prebuild trees")
@@ -79,6 +91,7 @@ func main() {
 	srvOpts := []server.Option{
 		server.WithTTL(*ttl),
 		server.WithMaxSessions(*maxSessions),
+		server.WithMaxBatchMembers(*maxBatch),
 		server.WithLogf(logger.Printf),
 	}
 	if *cacheBound > 0 {

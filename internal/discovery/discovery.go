@@ -389,6 +389,13 @@ func backtrack(trail []trailEntry, opts Options, res *Result) (*dataset.Subset, 
 				break
 			}
 		}
+		// Entries above i are already-flipped answers of abandoned branches;
+		// truncation drops them for good, so their retained pre-partition
+		// sets go back to the pool (entry i's own subset lives on in the
+		// re-appended flipped entry).
+		for j := i + 1; j < len(trail); j++ {
+			trail[j].before.Release()
+		}
 		trail = trail[:i]
 		trail = append(trail, trailEntry{before: e.before, entity: e.entity,
 			answer: flippedAnswer, flipped: true})

@@ -68,6 +68,13 @@ type Session struct {
 	// observe recycled memory.
 	scratch *dataset.Scratch
 
+	// sched is the code path of the deterministic step: how the next
+	// interaction is selected and how an answer's partition is computed. A
+	// solo session runs the stateless direct scheduler; a batch member runs
+	// its Batch's shared scheduler, which memoises both per candidate-set
+	// fingerprint so sibling sessions at the same state share the work.
+	sched *scheduler
+
 	// batch holds the not-yet-asked entities of the in-flight interaction;
 	// inBatch distinguishes "between interactions" from "mid-interaction"
 	// so that the per-interaction bookkeeping of Run (MaxQuestions is
@@ -88,6 +95,14 @@ type Session struct {
 // in no candidate yields a session that is immediately Done with
 // ErrNoCandidates from Result, mirroring Run's result-plus-error return.
 func NewSession(c *dataset.Collection, initial []dataset.Entity, opts Options) (*Session, error) {
+	return newScheduledSession(c, initial, opts, soloScheduler)
+}
+
+// newScheduledSession is NewSession with an explicit scheduler: the direct
+// solo scheduler, or a Batch's shared one (a solo session is exactly a
+// batch of one on this code path). Batch members draw their scratch from
+// the scheduler so the whole batch runs against one arena.
+func newScheduledSession(c *dataset.Collection, initial []dataset.Entity, opts Options, sched *scheduler) (*Session, error) {
 	if opts.Strategy == nil {
 		return nil, errors.New("discovery: Options.Strategy is required")
 	}
@@ -102,9 +117,14 @@ func NewSession(c *dataset.Collection, initial []dataset.Entity, opts Options) (
 		res:      &Result{Candidates: cs},
 		cs:       cs,
 		excluded: make(map[dataset.Entity]bool),
+		sched:    sched,
 	}
 	if !opts.noScratch {
-		s.scratch = dataset.NewScratch()
+		if sched.shared {
+			s.scratch = sched.scratch
+		} else {
+			s.scratch = dataset.NewScratch()
+		}
 	}
 	if cs.Size() == 0 {
 		s.finish(ErrNoCandidates)
@@ -164,11 +184,15 @@ func (s *Session) Answer(a Answer) error {
 		// Rejection (a "don't know" about one's own set counts as one):
 		// some earlier answer was wrong — flip and resume.
 		cs, trail, err := backtrack(s.trail, s.opts, s.res)
+		s.trail = trail
 		if err != nil {
 			s.finish(err)
 			return nil
 		}
-		s.cs, s.trail = cs, trail
+		// The rejected single-candidate set is superseded by the restored
+		// one and nothing else references it (snapshots detach first).
+		s.cs.Release()
+		s.cs = cs
 		s.advance()
 		return nil
 	case stateAsk:
@@ -184,7 +208,7 @@ func (s *Session) Answer(a Answer) error {
 			s.excluded[e] = true
 		case Yes, No:
 			old := s.cs
-			s.cs = applyScratch(old, e, a, s.scratch)
+			s.cs = s.sched.apply(s, old, e, a)
 			if s.opts.Backtrack {
 				// The trail must be able to restore any earlier candidate
 				// set, so superseded subsets stay live until the session
@@ -232,15 +256,20 @@ func (s *Session) advance() {
 			if s.contradiction {
 				s.contradiction = false
 				cs, trail, err := backtrack(s.trail, s.opts, s.res)
+				s.trail = trail
 				if err != nil {
 					s.finish(err)
 					return
 				}
-				s.cs, s.trail = cs, trail
+				// The emptied candidate set of the abandoned batch is
+				// superseded by the restored one; recycle it (it cannot be
+				// in the trail — trail entries hold pre-partition sets).
+				s.cs.Release()
+				s.cs = cs
 			}
 		}
 		if s.cs.Size() > 1 && !(s.opts.MaxQuestions > 0 && s.res.Questions >= s.opts.MaxQuestions) {
-			entities, ok := selectBatch(s.cs, s.opts, s.excluded, s.res, s.scratch)
+			entities, ok := s.sched.selectInteraction(s)
 			if ok {
 				s.res.Interactions++
 				s.batch = entities
@@ -264,10 +293,15 @@ func (s *Session) advance() {
 
 // finish moves the session to its terminal state. The final candidate set
 // escapes into the Result, so it is detached from the session scratch
-// first — the pool must never reclaim memory a caller can still see.
+// first — the pool must never reclaim memory a caller can still see. The
+// backtracking trail, by contrast, can never be walked again: its retained
+// pre-partition sets go back to the pool, as does the ruled-out candidate
+// set of a contradiction (which never escapes — the Result gets a fresh
+// empty subset instead).
 func (s *Session) finish(err error) {
 	s.state = stateDone
 	s.err = err
+	s.releaseTrail()
 	switch {
 	case err == nil:
 		s.cs.Unpool()
@@ -279,8 +313,21 @@ func (s *Session) finish(err error) {
 		s.cs.Unpool()
 		s.res.Candidates = s.cs
 	default: // contradiction: every candidate was ruled out
+		s.cs.Release()
+		s.cs = nil
 		s.res.Candidates = s.c.SubsetOf(nil)
 	}
+}
+
+// releaseTrail recycles the trail's pre-partition candidate sets. Entries
+// hold pairwise-distinct subsets, all distinct from the live s.cs (every
+// partition and every backtracking restore mints a fresh subset), so each
+// is released exactly once.
+func (s *Session) releaseTrail() {
+	for i := range s.trail {
+		s.trail[i].before.Release()
+	}
+	s.trail = nil
 }
 
 // Questions returns the number of questions counted so far without taking

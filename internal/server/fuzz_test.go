@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"setdiscovery"
+)
+
+// FuzzParseAnswer: the answer parser must classify any string without
+// panicking, and every accepted spelling must map to a valid Answer.
+func FuzzParseAnswer(f *testing.F) {
+	for _, seed := range []string{"yes", "no", "unknown", "Y", " n ", "dk", "don't know", "?", "", "sideways", "yesno", "\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := parseAnswer(s)
+		if err != nil {
+			return
+		}
+		if a != setdiscovery.Yes && a != setdiscovery.No && a != setdiscovery.Unknown {
+			t.Fatalf("parseAnswer(%q) accepted invalid answer %d", s, a)
+		}
+	})
+}
+
+// FuzzDecodeRequests throws arbitrary bytes at decodeJSON for every wire
+// request type: decoding must reject or accept, never panic, and the
+// 1 MiB body cap must hold.
+func FuzzDecodeRequests(f *testing.F) {
+	f.Add([]byte(`{"seeds":[{"initial":["a"]}],"strategy":"klp"}`))
+	f.Add([]byte(`{"answers":[{"member":0,"answer":"yes","entity":"a"}]}`))
+	f.Add([]byte(`{"initial":["a","b"],"k":3}`))
+	f.Add([]byte(`{"answer":"no"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"seeds":null}`))
+	f.Add([]byte(`{"seeds":[{"initial":-1}]}`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, v := range []any{
+			&CreateSessionRequest{},
+			&CreateBatchRequest{},
+			&AnswerRequest{},
+			&BatchAnswerRequest{},
+		} {
+			req := httptest.NewRequest("POST", "/", bytes.NewReader(body))
+			_ = decodeJSON(req, v)
+		}
+	})
+}
+
+// fuzzServer builds one in-process server over the paper collection for
+// handler-level fuzzing (no network, ServeHTTP directly).
+func fuzzServer(f *testing.F) http.Handler {
+	f.Helper()
+	c, err := setdiscovery.NewCollection(paperSets())
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := New(WithMaxBatchMembers(16))
+	if err := srv.Register("paper", c); err != nil {
+		f.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+// FuzzBatchEndpoints drives the full batch HTTP surface with arbitrary
+// bodies: create a batch from fuzz input, then feed fuzz input to a live
+// batch's answers endpoint. Whatever the bytes, the daemon must respond
+// with a status code — never panic (a panic would kill the fuzzing
+// process and, in production, the per-request goroutine).
+func FuzzBatchEndpoints(f *testing.F) {
+	handler := fuzzServer(f)
+
+	// A well-formed batch to aim the answers endpoint at.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/collections/paper/batches",
+		strings.NewReader(`{"seeds":[{},{}]}`)))
+	if rec.Code != http.StatusCreated {
+		f.Fatalf("fixture batch: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var snap BatchQuestionResponse
+	if err := decodeBody(rec.Body.Bytes(), &snap); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte(`{"seeds":[{"initial":["a"]}]}`), []byte(`{"answers":[{"member":0,"answer":"yes"}]}`))
+	f.Add([]byte(`{"seeds":[{}],"batch_size":3,"backtrack":true}`), []byte(`{"answers":[{"member":-1,"answer":"yes"}]}`))
+	f.Add([]byte(`{"seeds":[]}`), []byte(`{"answers":[{"member":999999,"answer":"?"}]}`))
+	f.Add([]byte(`{"seeds":[{"initial":["zzz"]}],"strategy":"bogus"}`), []byte(`null`))
+	f.Add([]byte(`{"seeds":`), []byte(`{"answers":[{"member":1,"answer":"no","entity":"a"},{"member":1,"answer":"no"}]}`))
+	f.Fuzz(func(t *testing.T, createBody, answerBody []byte) {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/collections/paper/batches",
+			bytes.NewReader(createBody)))
+		if rec.Code == 0 {
+			t.Fatal("create-batch wrote no status")
+		}
+		// If the fuzzer managed to create a batch, exercise its endpoints too.
+		var created BatchQuestionResponse
+		target := snap.BatchID
+		if rec.Code == http.StatusCreated && decodeBody(rec.Body.Bytes(), &created) == nil && created.BatchID != "" {
+			target = created.BatchID
+		}
+		for _, rt := range []struct{ method, path string }{
+			{"POST", "/v1/batches/" + target + "/answers"},
+			{"GET", "/v1/batches/" + target + "/questions"},
+			{"GET", "/v1/batches/" + target + "/results"},
+		} {
+			rec := httptest.NewRecorder()
+			var body *bytes.Reader
+			if rt.method == "POST" {
+				body = bytes.NewReader(answerBody)
+			} else {
+				body = bytes.NewReader(nil)
+			}
+			handler.ServeHTTP(rec, httptest.NewRequest(rt.method, rt.path, body))
+			if rec.Code == 0 {
+				t.Fatalf("%s %s wrote no status", rt.method, rt.path)
+			}
+		}
+	})
+}
+
+// decodeBody decodes a JSON response body.
+func decodeBody(b []byte, v any) error {
+	return decodeJSON(httptest.NewRequest("POST", "/", bytes.NewReader(b)), v)
+}

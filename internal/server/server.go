@@ -4,8 +4,8 @@
 // network boundary.
 //
 // A Server holds a registry of named collections (each optionally paired
-// with a prebuilt decision tree) and a TTL-bounded store of live sessions
-// keyed by opaque IDs. The JSON protocol (see wire.go):
+// with a prebuilt decision tree) and TTL-bounded stores of live sessions
+// and batches keyed by opaque IDs. The JSON protocol (see wire.go):
 //
 //	GET    /v1/collections                            list collections
 //	POST   /v1/collections/{collection}/sessions      create a session
@@ -13,6 +13,15 @@
 //	POST   /v1/sessions/{id}/answer                   answer, get next question
 //	GET    /v1/sessions/{id}/result                   outcome / progress
 //	DELETE /v1/sessions/{id}                          end a session early
+//	POST   /v1/collections/{collection}/batches       create a batch of sessions
+//	GET    /v1/batches/{id}/questions                 all members' pending questions
+//	POST   /v1/batches/{id}/answers                   one round of answers
+//	GET    /v1/batches/{id}/results                   all members' outcomes
+//	DELETE /v1/batches/{id}                           end a batch early
+//
+// Batches are the amortised fan-in: one POST steps many sessions, and
+// members at the same candidate-set state share one selection/partition
+// computation per round instead of each paying the full selection cost.
 //
 // Everything scales with PR 1's concurrency model: collections and trees
 // are immutable and shared, sessions with equal options draw strategies
@@ -41,9 +50,16 @@ type Option func(*Server)
 // WithTTL sets the idle session lifetime (default DefaultTTL).
 func WithTTL(d time.Duration) Option { return func(s *Server) { s.ttl = d } }
 
-// WithMaxSessions bounds the live-session count (default
-// DefaultMaxSessions).
+// WithMaxSessions bounds the number of live sessions (default
+// DefaultMaxSessions). A batch counts every member session against the
+// bound, so the cap is a budget of live discoveries no matter how clients
+// group them.
 func WithMaxSessions(n int) Option { return func(s *Server) { s.maxSessions = n } }
+
+// WithMaxBatchMembers bounds the member count of one batch (default
+// DefaultMaxBatchMembers), so a single create-batch POST cannot allocate an
+// unbounded number of sessions.
+func WithMaxBatchMembers(n int) Option { return func(s *Server) { s.maxBatchMembers = n } }
 
 // WithLogf routes request-error logging (default: discarded).
 func WithLogf(f func(format string, args ...any)) Option {
@@ -73,22 +89,30 @@ type Server struct {
 	mu          sync.RWMutex
 	collections map[string]*collectionEntry
 
-	store       *Store
-	ttl         time.Duration
-	maxSessions int
-	sessionOpts []setdiscovery.Option
-	logf        func(format string, args ...any)
+	store           *Store
+	ttl             time.Duration
+	maxSessions     int
+	maxBatchMembers int
+	sessionOpts     []setdiscovery.Option
+	logf            func(format string, args ...any)
 }
+
+// DefaultMaxBatchMembers bounds how many member sessions one create-batch
+// request may open.
+const DefaultMaxBatchMembers = 1024
 
 // New builds an empty server.
 func New(opts ...Option) *Server {
 	s := &Server{
-		collections: make(map[string]*collectionEntry),
-		logf:        func(string, ...any) {},
+		collections:     make(map[string]*collectionEntry),
+		maxBatchMembers: DefaultMaxBatchMembers,
+		logf:            func(string, ...any) {},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// One store for sessions and batches: the capacity is a budget of live
+	// discoveries, and a batch counts every member against it.
 	s.store = NewStore(s.ttl, s.maxSessions)
 	return s
 }
@@ -127,8 +151,17 @@ func (s *Server) RegisterTree(name string, t *setdiscovery.Tree) error {
 	return nil
 }
 
-// SessionCount returns the number of live sessions.
-func (s *Server) SessionCount() int { return s.store.Len() }
+// SessionCount returns the number of live (single) sessions.
+func (s *Server) SessionCount() int {
+	sessions, _ := s.store.Counts()
+	return sessions
+}
+
+// BatchCount returns the number of live batches.
+func (s *Server) BatchCount() int {
+	_, batches := s.store.Counts()
+	return batches
+}
 
 // Handler returns the HTTP handler serving the protocol.
 func (s *Server) Handler() http.Handler {
@@ -139,6 +172,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleGetResult)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/collections/{collection}/batches", s.handleCreateBatch)
+	mux.HandleFunc("GET /v1/batches/{id}/questions", s.handleBatchQuestions)
+	mux.HandleFunc("POST /v1/batches/{id}/answers", s.handleBatchAnswers)
+	mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleDeleteBatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -201,33 +239,44 @@ func newSessionFrom(e *collectionEntry, req *CreateSessionRequest, base []setdis
 		}
 		return e.tree.NewSession(), nil
 	}
+	opts, err := sessionOptions(req.SessionConfig, base)
+	if err != nil {
+		return nil, err
+	}
+	return e.c.NewSession(req.Initial, opts...)
+}
+
+// sessionOptions maps the wire-level engine configuration to engine
+// options. base options (the server's WithSessionOptions) come first so
+// request options override them.
+func sessionOptions(cfg SessionConfig, base []setdiscovery.Option) ([]setdiscovery.Option, error) {
 	opts := append([]setdiscovery.Option(nil), base...)
-	if req.Strategy != "" {
-		opts = append(opts, setdiscovery.WithStrategy(req.Strategy))
+	if cfg.Strategy != "" {
+		opts = append(opts, setdiscovery.WithStrategy(cfg.Strategy))
 	}
-	if req.K > 0 {
-		opts = append(opts, setdiscovery.WithK(req.K))
+	if cfg.K > 0 {
+		opts = append(opts, setdiscovery.WithK(cfg.K))
 	}
-	if req.Q > 0 {
-		opts = append(opts, setdiscovery.WithQ(req.Q))
+	if cfg.Q > 0 {
+		opts = append(opts, setdiscovery.WithQ(cfg.Q))
 	}
-	switch strings.ToLower(req.Metric) {
+	switch strings.ToLower(cfg.Metric) {
 	case "", "ad":
 	case "h":
 		opts = append(opts, setdiscovery.WithMetric(setdiscovery.Height))
 	default:
-		return nil, fmt.Errorf("unknown metric %q (want \"ad\" or \"h\")", req.Metric)
+		return nil, fmt.Errorf("unknown metric %q (want \"ad\" or \"h\")", cfg.Metric)
 	}
-	if req.MaxQuestions > 0 {
-		opts = append(opts, setdiscovery.WithMaxQuestions(req.MaxQuestions))
+	if cfg.MaxQuestions > 0 {
+		opts = append(opts, setdiscovery.WithMaxQuestions(cfg.MaxQuestions))
 	}
-	if req.BatchSize > 1 {
-		opts = append(opts, setdiscovery.WithBatchSize(req.BatchSize))
+	if cfg.BatchSize > 1 {
+		opts = append(opts, setdiscovery.WithBatchSize(cfg.BatchSize))
 	}
-	if req.Backtrack {
+	if cfg.Backtrack {
 		opts = append(opts, setdiscovery.WithBacktracking())
 	}
-	return e.c.NewSession(req.Initial, opts...)
+	return opts, nil
 }
 
 func (s *Server) handleGetQuestion(w http.ResponseWriter, r *http.Request) {
@@ -305,15 +354,199 @@ func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	s.store.Delete(r.PathValue("id"))
+	// Kind-matched: sessions and batches share the ID namespace, and a
+	// batch ID sent here must stay untouched (not even TTL-refreshed).
+	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Session != nil })
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// session resolves the request's session ID, writing a 404 on failure.
+func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("collection")
+	s.mu.RLock()
+	e, ok := s.collections[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
+		return
+	}
+	var req CreateBatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("a batch needs at least one seed"))
+		return
+	}
+	if len(req.Seeds) > s.maxBatchMembers {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf(
+			"batch of %d members exceeds the limit of %d", len(req.Seeds), s.maxBatchMembers))
+		return
+	}
+	opts, err := sessionOptions(req.SessionConfig, s.sessionOpts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	seeds := make([]setdiscovery.Seed, len(req.Seeds))
+	for i, seed := range req.Seeds {
+		seeds[i] = setdiscovery.Seed{Initial: seed.Initial}
+	}
+	b, err := e.c.NewBatch(seeds, opts...)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.store.Put(&Stored{Batch: b, Collection: name})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrStoreFull) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, batchSnapshot(id, b, nil))
+}
+
+func (s *Server) handleBatchQuestions(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.batch(w, r)
+	if !ok {
+		return
+	}
+	st.Mu.Lock()
+	resp := batchSnapshot(id, st.Batch, nil)
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatchAnswers applies one round of replies. Replies are applied
+// member by member through the shared scheduler, the round's shared state
+// is released once, and per-member failures (bad answer, stale question
+// assertion, finished member) are reported in that member's snapshot entry
+// while the rest of the round proceeds — so a retried POST whose first
+// attempt was partially applied converges instead of failing wholesale.
+func (s *Server) handleBatchAnswers(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.batch(w, r)
+	if !ok {
+		return
+	}
+	var req BatchAnswerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	memberErrs := make(map[int]string)
+	st.Mu.Lock()
+	b := st.Batch
+	for _, ma := range req.Answers {
+		if ma.Member < 0 || ma.Member >= b.Len() {
+			// Out-of-range members have no snapshot row to carry the error;
+			// reject the whole request before touching any session.
+			st.Mu.Unlock()
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no member %d", ma.Member))
+			return
+		}
+	}
+	for _, ma := range req.Answers {
+		if ma.Entity != "" || ma.Confirm != "" {
+			q, done := b.Question(ma.Member)
+			if done || q.Entity != ma.Entity || q.Confirm != ma.Confirm {
+				memberErrs[ma.Member] = fmt.Sprintf(
+					"answer names question {entity:%q confirm:%q} but the pending question is {entity:%q confirm:%q}: it was likely already answered",
+					ma.Entity, ma.Confirm, q.Entity, q.Confirm)
+				continue
+			}
+		}
+		a, err := parseAnswer(ma.Answer)
+		if err != nil {
+			memberErrs[ma.Member] = err.Error()
+			continue
+		}
+		if err := b.AnswerMember(ma.Member, a); err != nil {
+			memberErrs[ma.Member] = err.Error()
+		}
+	}
+	b.EndRound()
+	resp := batchSnapshot(id, b, memberErrs)
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request) {
+	id, st, ok := s.batch(w, r)
+	if !ok {
+		return
+	}
+	st.Mu.Lock()
+	b := st.Batch
+	resp := BatchResultsResponse{BatchID: id, Done: b.Done()}
+	for i := 0; i < b.Len(); i++ {
+		mr := MemberResult{Member: i, Done: b.MemberDone(i)}
+		res, err := b.Result(i)
+		if err != nil {
+			// A terminal discovery failure is a member outcome, not a
+			// transport error — exactly as in handleGetResult.
+			mr.Error = err.Error()
+		} else {
+			mr.Target = res.Target
+			mr.Candidates = res.Candidates
+			mr.Questions = res.Questions
+			mr.Interactions = res.Interactions
+			mr.Backtracks = res.Backtracks
+			mr.SelectionTimeUS = res.SelectionTime.Microseconds()
+		}
+		resp.Members = append(resp.Members, mr)
+	}
+	stats := b.Stats()
+	resp.SelectionsComputed = stats.Selections
+	resp.SelectionsShared = stats.SelectionsShared
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
+	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Batch != nil })
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// batch resolves the request's batch ID, writing a 404 on failure (or when
+// the ID names a single session).
+func (s *Server) batch(w http.ResponseWriter, r *http.Request) (string, *Stored, bool) {
+	id := r.PathValue("id")
+	st, ok := s.store.Get(id)
+	if !ok || st.Batch == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("unknown or expired batch"))
+		return id, nil, false
+	}
+	return id, st, true
+}
+
+// batchSnapshot renders every member's pending interaction, merging
+// per-member errors from the answer round that produced it. Callers hold
+// the batch lock.
+func batchSnapshot(id string, b *setdiscovery.Batch, memberErrs map[int]string) BatchQuestionResponse {
+	resp := BatchQuestionResponse{BatchID: id, Done: b.Done()}
+	for i := 0; i < b.Len(); i++ {
+		q, done := b.Question(i)
+		resp.Members = append(resp.Members, MemberQuestion{
+			Member:    i,
+			Done:      done,
+			Entity:    q.Entity,
+			Confirm:   q.Confirm,
+			Questions: b.MemberQuestions(i),
+			Error:     memberErrs[i],
+		})
+	}
+	return resp
+}
+
+// session resolves the request's session ID, writing a 404 on failure (or
+// when the ID names a batch).
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Stored, bool) {
 	id := r.PathValue("id")
 	st, ok := s.store.Get(id)
-	if !ok {
+	if !ok || st.Session == nil {
 		s.writeError(w, http.StatusNotFound, errors.New("unknown or expired session"))
 		return id, nil, false
 	}

@@ -141,7 +141,7 @@ func TestEndToEndDiscovery(t *testing.T) {
 	}{
 		{"default", CreateSessionRequest{}},
 		{"initial-example", CreateSessionRequest{Initial: []string{"b"}}},
-		{"batched", CreateSessionRequest{Strategy: "most-even", BatchSize: 3}},
+		{"batched", CreateSessionRequest{SessionConfig: SessionConfig{Strategy: "most-even", BatchSize: 3}}},
 		{"tree", CreateSessionRequest{Tree: true}},
 	}
 	for _, tc := range cases {
@@ -176,7 +176,7 @@ func TestEndToEndBacktracking(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := resolve(t, ts.URL, CreateSessionRequest{Backtrack: true},
+		res := resolve(t, ts.URL, CreateSessionRequest{SessionConfig: SessionConfig{Backtrack: true}},
 			&lieFirstOracle{inner: inner})
 		if res.Target != target {
 			t.Errorf("target %s: recovered %q (%+v)", target, res.Target, res)
@@ -229,11 +229,11 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("unknown collection: status %d", code)
 	}
 	if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions",
-		CreateSessionRequest{Strategy: "bogus"}, &e); code != http.StatusBadRequest {
+		CreateSessionRequest{SessionConfig: SessionConfig{Strategy: "bogus"}}, &e); code != http.StatusBadRequest {
 		t.Errorf("unknown strategy: status %d", code)
 	}
 	if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions",
-		CreateSessionRequest{Metric: "xyz"}, &e); code != http.StatusBadRequest {
+		CreateSessionRequest{SessionConfig: SessionConfig{Metric: "xyz"}}, &e); code != http.StatusBadRequest {
 		t.Errorf("unknown metric: status %d", code)
 	}
 	if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions",

@@ -17,42 +17,61 @@ const DefaultTTL = 30 * time.Minute
 
 // DefaultMaxSessions bounds the number of live sessions a store accepts, so
 // an abandoning client population cannot grow the process without limit
-// before the TTL reaper catches up.
+// before the TTL reaper catches up. A batch entry counts each of its member
+// sessions against the bound, so N batched discoveries cost the same budget
+// as N single ones.
 const DefaultMaxSessions = 16384
 
 // ErrStoreFull is returned by Put when the store holds MaxSessions
 // unexpired sessions.
 var ErrStoreFull = errors.New("server: session store is full")
 
-// Stored is one live session and its per-session lock. The lock serialises
-// interactive steps: a Session is a single-user state machine, so handlers
-// lock a Stored around Next/Answer/Result while the store itself stays free
-// for other sessions' traffic.
+// Stored is one live session — or one live batch of sessions — and its
+// lock. The lock serialises interactive steps: a Session is a single-user
+// state machine (and a Batch a single-user scheduler over many of them), so
+// handlers lock a Stored around Next/Answer/Result while the store itself
+// stays free for other entries' traffic.
 type Stored struct {
-	// Mu serialises all Session calls. It is exported so handlers (and
-	// tests) lock at the granularity of one question/answer exchange.
+	// Mu serialises all Session/Batch calls. It is exported so handlers
+	// (and tests) lock at the granularity of one question/answer exchange.
 	Mu sync.Mutex
-	// Session is the suspended discovery state machine.
+	// Session is the suspended discovery state machine. Exactly one of
+	// Session and Batch is non-nil.
 	Session *setdiscovery.Session
-	// Collection is the registered name the session was created over.
+	// Batch is a suspended batch of sessions sharing one scheduler.
+	Batch *setdiscovery.Batch
+	// Collection is the registered name the entry was created over.
 	Collection string
 }
 
 // Store is a TTL-bounded concurrent session store keyed by opaque IDs.
 // Sessions expire after their idle TTL and are reaped lazily on every store
 // operation — a serving process needs no background janitor goroutine to
-// stay bounded, though Sweep may be called from one for promptness.
+// stay bounded, though Sweep may be called from one for promptness. The
+// capacity bound counts sessions, not entries: a batch weighs its member
+// count, so the store's budget is the number of live discoveries however
+// they are grouped.
 type Store struct {
-	mu  sync.Mutex
-	m   map[string]*storedEntry
-	ttl time.Duration
-	max int
-	now func() time.Time // injectable clock for expiry tests
+	mu   sync.Mutex
+	m    map[string]*storedEntry
+	ttl  time.Duration
+	max  int
+	used int              // weight sum of unexpired entries
+	now  func() time.Time // injectable clock for expiry tests
 }
 
 type storedEntry struct {
 	s       *Stored
+	weight  int
 	expires time.Time
+}
+
+// weight is the number of sessions an entry counts against the capacity.
+func (s *Stored) weight() int {
+	if s.Batch != nil {
+		return s.Batch.Len()
+	}
+	return 1
 }
 
 // NewStore builds a store with the given idle TTL and capacity; zero values
@@ -82,26 +101,30 @@ func newSessionID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
-// Put stores a new session and returns its ID. It fails with ErrStoreFull
-// when the store already holds its maximum of unexpired sessions.
+// Put stores a new session or batch and returns its ID. It fails with
+// ErrStoreFull when admitting the entry's sessions would exceed the
+// capacity (so a batch needs room for every member, and a batch larger
+// than the whole capacity is never admitted).
 func (st *Store) Put(s *Stored) (string, error) {
 	id, err := newSessionID()
 	if err != nil {
 		return "", err
 	}
+	w := s.weight()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
 	// Reap only when at capacity: Get drops expired entries it touches, so
 	// the common-case Put stays O(1) and the full sweep runs exactly when
-	// its work can admit a new session.
-	if len(st.m) >= st.max {
+	// its work can admit a new entry.
+	if st.used+w > st.max {
 		st.sweepLocked(now)
 	}
-	if len(st.m) >= st.max {
+	if st.used+w > st.max {
 		return "", ErrStoreFull
 	}
-	st.m[id] = &storedEntry{s: s, expires: now.Add(st.ttl)}
+	st.used += w
+	st.m[id] = &storedEntry{s: s, weight: w, expires: now.Add(st.ttl)}
 	return id, nil
 }
 
@@ -116,6 +139,7 @@ func (st *Store) Get(id string) (*Stored, bool) {
 		return nil, false
 	}
 	if now.After(e.expires) {
+		st.used -= e.weight
 		delete(st.m, id)
 		return nil, false
 	}
@@ -123,19 +147,55 @@ func (st *Store) Get(id string) (*Stored, bool) {
 	return e.s, true
 }
 
-// Delete removes the session for id; deleting an absent ID is a no-op.
+// Delete removes the session or batch for id; an absent ID is a no-op.
 func (st *Store) Delete(id string) {
 	st.mu.Lock()
-	delete(st.m, id)
+	if e, ok := st.m[id]; ok {
+		st.used -= e.weight
+		delete(st.m, id)
+	}
 	st.mu.Unlock()
 }
 
-// Len returns the number of stored, unexpired sessions.
+// DeleteIf removes the entry for id only when match accepts it, reporting
+// whether a removal happened. Unlike Get-then-Delete it neither slides the
+// entry's expiry nor touches entries of the wrong kind — the handlers use
+// it so a batch ID sent to the session DELETE endpoint (or vice versa) is
+// a true no-op.
+func (st *Store) DeleteIf(id string, match func(*Stored) bool) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	if !ok || !match(e.s) {
+		return false
+	}
+	st.used -= e.weight
+	delete(st.m, id)
+	return true
+}
+
+// Len returns the number of stored, unexpired entries (a batch is one
+// entry; see Counts for the session/batch split).
 func (st *Store) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked(st.now())
 	return len(st.m)
+}
+
+// Counts returns the number of unexpired single sessions and batches.
+func (st *Store) Counts() (sessions, batches int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	for _, e := range st.m {
+		if e.s.Batch != nil {
+			batches++
+		} else {
+			sessions++
+		}
+	}
+	return sessions, batches
 }
 
 // Sweep evicts every expired session now and returns how many it removed.
@@ -149,6 +209,7 @@ func (st *Store) sweepLocked(now time.Time) int {
 	n := 0
 	for id, e := range st.m {
 		if now.After(e.expires) {
+			st.used -= e.weight
 			delete(st.m, id)
 			n++
 		}

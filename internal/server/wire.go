@@ -4,15 +4,10 @@ package server
 // one POST: the answer request returns the next question, so a scripted
 // client needs create + N answers + result to resolve a target.
 
-// CreateSessionRequest configures a new discovery session over a registered
-// collection (POST /v1/collections/{collection}/sessions). Zero values take
-// the engine defaults; Tree selects a walk of the collection's prebuilt
-// decision tree instead of the interactive strategy loop.
-type CreateSessionRequest struct {
-	// Initial holds the initial example entities (Algorithm 2 line 1).
-	// Must be empty for tree sessions: a prebuilt tree always starts at
-	// its root.
-	Initial []string `json:"initial,omitempty"`
+// SessionConfig holds the engine options shared by single-session and
+// batch creation requests; zero values take the engine defaults. It is
+// embedded, so its fields appear flat in the JSON bodies.
+type SessionConfig struct {
 	// Strategy names the entity-selection strategy ("klp", "klple",
 	// "klplve", "infogain", "most-even", "indg", "lb1", "gaink");
 	// case-insensitive, default "klp".
@@ -33,6 +28,18 @@ type CreateSessionRequest struct {
 	// Backtrack enables §6 error recovery: the session asks a final
 	// confirmation question and revisits earlier answers on rejection.
 	Backtrack bool `json:"backtrack,omitempty"`
+}
+
+// CreateSessionRequest configures a new discovery session over a registered
+// collection (POST /v1/collections/{collection}/sessions). Zero values take
+// the engine defaults; Tree selects a walk of the collection's prebuilt
+// decision tree instead of the interactive strategy loop.
+type CreateSessionRequest struct {
+	// Initial holds the initial example entities (Algorithm 2 line 1).
+	// Must be empty for tree sessions: a prebuilt tree always starts at
+	// its root.
+	Initial []string `json:"initial,omitempty"`
+	SessionConfig
 	// Tree walks the collection's prebuilt decision tree (constant
 	// per-question cost) instead of running the strategy loop.
 	Tree bool `json:"tree,omitempty"`
@@ -92,6 +99,91 @@ type CollectionInfo struct {
 	// Tree reports whether a prebuilt decision tree is registered, i.e.
 	// whether CreateSessionRequest.Tree is available.
 	Tree bool `json:"tree"`
+}
+
+// CreateBatchRequest configures a batch of discovery sessions over a
+// registered collection (POST /v1/collections/{collection}/batches): one
+// member per seed, all under the same engine options, scheduled together so
+// members at the same candidate-set state share one selection and one
+// partition computation per answer round. Prebuilt-tree walks are not
+// batchable — their per-question cost is already constant.
+type CreateBatchRequest struct {
+	// Seeds holds one entry per member: its initial example entities. An
+	// empty object ({}) starts that member from the whole collection.
+	Seeds []BatchSeed `json:"seeds"`
+	SessionConfig
+}
+
+// BatchSeed is one member's starting point.
+type BatchSeed struct {
+	Initial []string `json:"initial,omitempty"`
+}
+
+// BatchQuestionResponse is the per-member interaction state of a batch,
+// returned by create-batch, get-questions and post-answers. Done is true
+// once every member has finished.
+type BatchQuestionResponse struct {
+	BatchID string           `json:"batch_id"`
+	Done    bool             `json:"done"`
+	Members []MemberQuestion `json:"members"`
+}
+
+// MemberQuestion is one member's pending interaction; the Entity/Confirm
+// semantics are those of QuestionResponse. Error reports a rejected reply
+// from the answers POST that produced this response (the other members'
+// replies still applied).
+type MemberQuestion struct {
+	Member    int    `json:"member"`
+	Done      bool   `json:"done"`
+	Entity    string `json:"entity,omitempty"`
+	Confirm   string `json:"confirm,omitempty"`
+	Questions int    `json:"questions"`
+	Error     string `json:"error,omitempty"`
+}
+
+// BatchAnswerRequest applies one round of replies (POST
+// /v1/batches/{id}/answers): at most one answer per live member, all
+// stepped through the shared scheduler before the round's shared state is
+// released. Answers for distinct members may arrive in any order and across
+// any number of POSTs; replies in one POST amortise best.
+type BatchAnswerRequest struct {
+	Answers []MemberAnswerRequest `json:"answers"`
+}
+
+// MemberAnswerRequest is one member's reply; Answer/Entity/Confirm have
+// AnswerRequest semantics (Entity/Confirm, when set, assert which question
+// is being answered so retried POSTs cannot land on the wrong one).
+type MemberAnswerRequest struct {
+	Member  int    `json:"member"`
+	Answer  string `json:"answer"`
+	Entity  string `json:"entity,omitempty"`
+	Confirm string `json:"confirm,omitempty"`
+}
+
+// BatchResultsResponse reports every member's outcome (GET
+// /v1/batches/{id}/results) plus the batch's amortisation counters.
+type BatchResultsResponse struct {
+	BatchID string         `json:"batch_id"`
+	Done    bool           `json:"done"`
+	Members []MemberResult `json:"members"`
+	// SelectionsComputed / SelectionsShared count strategy selections run
+	// versus served from the shared round memo — the measure of how much
+	// work batching saved over independent sessions.
+	SelectionsComputed int64 `json:"selections_computed"`
+	SelectionsShared   int64 `json:"selections_shared"`
+}
+
+// MemberResult is one member's ResultResponse-shaped outcome.
+type MemberResult struct {
+	Member          int      `json:"member"`
+	Done            bool     `json:"done"`
+	Target          string   `json:"target,omitempty"`
+	Candidates      []string `json:"candidates,omitempty"`
+	Questions       int      `json:"questions"`
+	Interactions    int      `json:"interactions"`
+	Backtracks      int      `json:"backtracks"`
+	SelectionTimeUS int64    `json:"selection_time_us"`
+	Error           string   `json:"error,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

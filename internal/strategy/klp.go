@@ -69,12 +69,22 @@ func NewKLP(m cost.Metric, k int) *KLP {
 // skips work (see the determinism argument on tree.Build). Each sibling
 // carries its own scratch arena, so steady-state selection is
 // allocation-free without any synchronisation between siblings.
-func (s *KLP) New() Strategy {
+func (s *KLP) New() Strategy { return s.NewWithScratch(nil) }
+
+// NewWithScratch implements ScratchFactory: like New, but the sibling's
+// working memory comes from the caller's arena (nil sc = a private one, i.e.
+// exactly New). The batch scheduler passes its batch-wide scratch so one
+// arena backs strategy lookahead, session narrowing and the shared partition
+// cache alike.
+func (s *KLP) NewWithScratch(sc *dataset.Scratch) Strategy {
 	sibling := *s
 	sibling.excluded = nil
 	sibling.scratch = workerScratch{}
 	if !s.noScratch {
-		sibling.scratch = newWorkerScratch()
+		if sc == nil {
+			sc = dataset.NewScratch()
+		}
+		sibling.scratch = workerScratch{sc: sc}
 	}
 	return &sibling
 }

@@ -18,11 +18,6 @@ type workerScratch struct {
 	candStack [][]candidate
 }
 
-// newWorkerScratch returns a workerScratch with live reusable state.
-func newWorkerScratch() workerScratch {
-	return workerScratch{sc: dataset.NewScratch()}
-}
-
 // candidatesAt fills the depth-th candidate buffer with sub's informative
 // entities under metric m. The returned slice is owned by the caller until
 // the next candidatesAt call at the same depth; deeper recursion uses
