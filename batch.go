@@ -38,6 +38,10 @@ type BatchStats = discovery.BatchStats
 type Batch struct {
 	c *Collection
 	b *discovery.Batch
+
+	// cfg is the configuration the batch was created under, embedded in
+	// Snapshot so RestoreBatch rebuilds identical options.
+	cfg config
 }
 
 // NewBatch starts one suspended discovery session per seed, all with the
@@ -75,7 +79,7 @@ func (c *Collection) NewBatch(seeds []Seed, opts ...Option) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Batch{c: c, b: b}, nil
+	return &Batch{c: c, b: b, cfg: cfg}, nil
 }
 
 // Len returns the number of members.

@@ -3,18 +3,30 @@
 // through create-session / get-question / post-answer round-trips (the
 // serving inversion of cmd/setdisc's terminal loop).
 //
-// Usage:
+// Usage (engine mode):
 //
 //	setdiscd -collection sets.txt [-collection name=other.txt ...]
-//	         [-addr :8080] [-ttl 30m] [-max-sessions 16384] [-cache-bound n]
-//	         [-max-batch-members 1024]
+//	         [-addr :8080] [-ttl 30m] [-sliding-ttl] [-max-sessions 16384]
+//	         [-cache-bound n] [-max-batch-members 1024]
 //	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
+//
+// Usage (router mode — the sharding tier):
+//
+//	setdiscd -route engineA=http://host1:8080 -route engineB=http://host2:8080
+//	         [-addr :8079]
 //
 // Each -collection flag registers one collection; "name=path" sets the
 // registered name explicitly, a bare path uses the file's base name without
 // extension. With -prebuild a decision tree is constructed per collection
 // at startup (using -strategy/-k/-q/-metric) and registered for tree-walk
 // sessions, trading startup time for constant per-question serving cost.
+//
+// With -route flags the daemon runs as a router instead of an engine: it
+// speaks the same /v1/ protocol, consistent-hashes collections across the
+// named backends, pins every session to the engine that created it, and
+// live-migrates sessions (snapshot export/import on the state endpoints)
+// when a backend is drained (POST /v1/router/backends/{name}/drain) or a
+// new one joins. The backends should register the same collections.
 //
 // Example session against the paper's running example:
 //
@@ -51,6 +63,7 @@ import (
 	"time"
 
 	"setdiscovery"
+	"setdiscovery/internal/router"
 	"setdiscovery/internal/server"
 )
 
@@ -65,10 +78,11 @@ func (f *collectionFlags) Set(v string) error {
 }
 
 func main() {
-	var collections collectionFlags
+	var collections, routes collectionFlags
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		ttl          = flag.Duration("ttl", server.DefaultTTL, "idle session lifetime")
+		slidingTTL   = flag.Bool("sliding-ttl", true, "slide a session's expiry on every touch (false = fixed deadline at creation)")
 		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (batch members included)")
 		maxBatch     = flag.Int("max-batch-members", server.DefaultMaxBatchMembers, "maximum members per batch request")
 		prebuild     = flag.Bool("prebuild", false, "build and register a decision tree per collection at startup")
@@ -80,16 +94,27 @@ func main() {
 		cacheBound   = flag.Int("cache-bound", 1<<20, "max entries per lookahead cache (clock eviction; 0 = unbounded)")
 	)
 	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
+	flag.Var(&routes, "route", "run as a router over this backend engine, as name=url (repeatable; excludes -collection)")
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "setdiscd: ", log.LstdFlags)
+	if len(routes) > 0 {
+		if len(collections) > 0 {
+			fmt.Fprintln(os.Stderr, "setdiscd: -route (router mode) and -collection (engine mode) are mutually exclusive")
+			os.Exit(2)
+		}
+		runRouter(logger, *addr, routes)
+		return
+	}
 	if len(collections) == 0 {
-		fmt.Fprintln(os.Stderr, "setdiscd: at least one -collection is required")
+		fmt.Fprintln(os.Stderr, "setdiscd: at least one -collection (or -route) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	logger := log.New(os.Stderr, "setdiscd: ", log.LstdFlags)
 	srvOpts := []server.Option{
 		server.WithTTL(*ttl),
+		server.WithSlidingTTL(*slidingTTL),
 		server.WithMaxSessions(*maxSessions),
 		server.WithMaxBatchMembers(*maxBatch),
 		server.WithLogf(logger.Printf),
@@ -141,13 +166,38 @@ func main() {
 		}
 	}
 
+	logger.Printf("serving on %s (session ttl %v, max %d sessions)", *addr, *ttl, *maxSessions)
+	serve(logger, *addr, srv.Handler())
+}
+
+// runRouter starts the daemon in router mode: a sharding front over the
+// named backend engines.
+func runRouter(logger *log.Logger, addr string, routes []string) {
+	rt := router.New(router.WithLogf(logger.Printf))
+	for _, spec := range routes {
+		i := strings.IndexByte(spec, '=')
+		if i <= 0 {
+			logger.Fatalf("invalid -route %q: want name=url", spec)
+		}
+		name, u := spec[:i], spec[i+1:]
+		if err := rt.AddBackend(name, u); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("routing to backend %q at %s", name, u)
+	}
+	logger.Printf("routing on %s (%d backends; drain with POST /v1/router/backends/{name}/drain)", addr, len(routes))
+	serve(logger, addr, rt.Handler())
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully.
+func serve(logger *log.Logger, addr string, h http.Handler) {
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		logger.Printf("serving on %s (session ttl %v, max %d sessions)", *addr, *ttl, *maxSessions)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Fatal(err)
 		}

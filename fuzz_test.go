@@ -1,0 +1,128 @@
+package setdiscovery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz coverage for the two public decoders that parse untrusted input: the
+// binary decision-tree format behind Collection.LoadTree (persisted trees
+// travel through files and object stores) and the session snapshot format
+// behind RestoreSession/RestoreBatch (snapshots travel through HTTP state
+// export/import and router migration). Both must reject garbage with an
+// error — never panic — and anything they accept must behave like a valid
+// resource.
+
+// fuzzCollection builds the paper collection once per fuzz target.
+func fuzzCollection(f *testing.F) *Collection {
+	f.Helper()
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return c
+}
+
+// driveAccepted pumps a session to completion with a truthful oracle,
+// bounding the number of rounds so a hypothetical non-terminating decoded
+// state fails the fuzz instead of hanging it.
+func driveAccepted(t *testing.T, c *Collection, s *Session) {
+	o, err := c.TargetOracle(c.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		q, done := s.Next()
+		if done {
+			return
+		}
+		a := No
+		if !q.IsConfirm() {
+			a = o.Answer(q.Entity)
+		}
+		if err := s.Answer(a); err != nil {
+			t.Fatalf("restored session rejected its own question: %v", err)
+		}
+	}
+	t.Fatal("restored session did not terminate within 10000 answers")
+}
+
+// FuzzLoadTree fuzzes the binary tree decoder at the public entry point: it
+// must never panic, and an accepted tree must serve a full walk session.
+func FuzzLoadTree(f *testing.F) {
+	c := fuzzCollection(f)
+	tr, err := c.BuildTree()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SDT1"))
+	f.Add([]byte("SDT1\x07\x01\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		loaded, err := c.LoadTree(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		driveAccepted(t, c, loaded.NewSession())
+	})
+}
+
+// FuzzRestoreSnapshot fuzzes the snapshot decoders with one corpus across
+// all three kinds (the envelope discriminates): no panics, and an accepted
+// session must drive to completion.
+func FuzzRestoreSnapshot(f *testing.F) {
+	c := fuzzCollection(f)
+	tr, err := c.BuildTree()
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := c.NewSession([]string{"b"}, WithBacktracking())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Answer(Yes); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := c.NewBatch([]Seed{{Initial: []string{"b"}}, {}}, WithBatchSize(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	batchSnap, err := b.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	treeSnap, err := tr.NewSession().Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add(batchSnap)
+	f.Add(treeSnap)
+	f.Add([]byte("SDSS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if restored, err := c.RestoreSession(input); err == nil {
+			driveAccepted(t, c, restored)
+		}
+		if restored, err := tr.RestoreSession(input); err == nil {
+			driveAccepted(t, c, restored)
+		}
+		if restored, err := c.RestoreBatch(input); err == nil {
+			for i := 0; i < restored.Len(); i++ {
+				if _, err := restored.Result(i); err != nil {
+					// Terminal member outcomes are legal snapshot content.
+					continue
+				}
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"setdiscovery/internal/intern"
 	"setdiscovery/internal/setops"
@@ -41,6 +42,11 @@ type Collection struct {
 	dict        *intern.Dict // nil when built from raw IDs
 	numEntities int
 	postings    [][]uint32 // entity -> sorted set indexes containing it
+
+	// fpOnce/fp lazily cache ContentFingerprint; the collection is immutable
+	// after build, so one computation serves every snapshot guard.
+	fpOnce sync.Once
+	fp     Fingerprint
 }
 
 // ErrDuplicateSet is reported by Builder.Build when two sets have identical

@@ -1,5 +1,11 @@
 package dataset
 
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+)
+
 // Fingerprint is a 128-bit hash identifying a sub-collection of one
 // Collection: it is computed over the member-set bitset (and its capacity),
 // so two Subsets of the same Collection receive equal fingerprints iff they
@@ -18,4 +24,37 @@ type Fingerprint struct {
 func (s *Subset) Fingerprint() Fingerprint {
 	hi, lo := s.members.Sum128()
 	return Fingerprint{Hi: hi, Lo: lo}
+}
+
+// ContentFingerprint returns a 128-bit hash of the collection's contents:
+// the set names and element lists in collection order. Two collections built
+// from the same input hash equal, so a serialized session state can be
+// guarded against restoration over a different collection (where its set
+// indexes and entity IDs would silently mean something else). Computed once
+// and cached — the Collection is immutable.
+func (c *Collection) ContentFingerprint() Fingerprint {
+	c.fpOnce.Do(func() {
+		h := fnv.New128a()
+		var buf [binary.MaxVarintLen64]byte
+		writeUvarint := func(v uint64) {
+			h.Write(buf[:binary.PutUvarint(buf[:], v)])
+		}
+		writeUvarint(uint64(len(c.sets)))
+		for _, s := range c.sets {
+			writeUvarint(uint64(len(s.Name)))
+			io.WriteString(h, s.Name)
+			writeUvarint(uint64(len(s.Elems)))
+			prev := Entity(0)
+			for _, e := range s.Elems {
+				writeUvarint(uint64(e - prev)) // sorted: deltas stay small
+				prev = e
+			}
+		}
+		sum := h.Sum(nil)
+		c.fp = Fingerprint{
+			Hi: binary.BigEndian.Uint64(sum[:8]),
+			Lo: binary.BigEndian.Uint64(sum[8:]),
+		}
+	})
+	return c.fp
 }

@@ -1,0 +1,733 @@
+// Package router is the sharding tier in front of N discovery engines: the
+// ROADMAP's step from one serving process to a fleet. It speaks the same
+// /v1/ JSON protocol as internal/server, so clients cannot tell a router
+// from an engine, and adds three behaviours an engine cannot provide:
+//
+//   - placement: create requests are routed by consistent-hashing the
+//     collection name over the live backends, so each collection's sessions
+//     (and their shared lookahead caches) concentrate on one engine and
+//     adding a shard moves only ~1/N of the keyspace;
+//   - affinity: session and batch requests are routed by the opaque ID the
+//     create response carried — the router records which backend minted
+//     which ID, so every later round-trip of a discovery lands on the
+//     engine that holds its state;
+//   - migration: because sessions are portable (GET/PUT …/state), draining
+//     a backend moves its live sessions to their new ring owners through
+//     snapshot export/import. Clients keep their session IDs; mid-discovery
+//     users just keep answering, now against another engine — test-pinned
+//     to produce the identical remaining question sequence.
+//
+// The router holds no discovery state of its own: everything it tracks is
+// the ID → backend affinity table, rebuilt from traffic, dropped on
+// DELETE/expiry. Engines remain the source of truth.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"setdiscovery/internal/server"
+)
+
+// vnodes is the number of virtual ring points per backend; enough that the
+// keyspace splits evenly across a handful of engines.
+const vnodes = 64
+
+// maxProxyBody bounds request and response bodies buffered through the
+// router; state exports of large backtracking sessions are the big case.
+const maxProxyBody = 64 << 20
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithLogf routes the router's operational logging (default: discarded).
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(rt *Router) { rt.logf = f }
+}
+
+// WithHTTPClient replaces the backend HTTP client (default: 30s timeout).
+func WithHTTPClient(c *http.Client) Option {
+	return func(rt *Router) { rt.client = c }
+}
+
+// WithOwnerTTL sets how long an affinity entry survives without traffic
+// (default DefaultOwnerTTL). Engines reap idle sessions on their own TTL;
+// the router cannot observe that, so it ages out its ID→backend entries
+// independently — the bound that keeps the affinity table from growing
+// with every session ever created. Set it comfortably above the engines'
+// session TTL: an aged-out entry for a still-live session answers 404 at
+// the router even though the engine still holds the state.
+func WithOwnerTTL(d time.Duration) Option {
+	return func(rt *Router) { rt.ownerTTL = d }
+}
+
+// DefaultOwnerTTL is twice the engines' default session TTL, so the router
+// forgets an ID only well after the engine has.
+const DefaultOwnerTTL = 2 * server.DefaultTTL
+
+// ownerSweepInterval gates how often the affinity table is scanned for
+// aged-out entries.
+const ownerSweepInterval = time.Minute
+
+// backend is one discovery engine behind the router.
+type backend struct {
+	name     string
+	base     *url.URL
+	draining bool
+}
+
+// owner records where a live resource's state is held and how to address it
+// for migration. lastSeen ages the entry out once traffic stops (the engine
+// reaps the session on its own TTL; the router cannot observe that).
+type owner struct {
+	b          *backend
+	kindPath   string // "sessions" or "batches"
+	collection string
+	lastSeen   time.Time
+}
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash uint64
+	b    *backend
+}
+
+// Router is an HTTP front consistent-hashing collections across backend
+// engines, with per-session affinity and snapshot/restore migration. All
+// methods are safe for concurrent use.
+type Router struct {
+	mu       sync.RWMutex
+	backends map[string]*backend
+	ring     []ringPoint // sorted by hash, non-draining backends only
+	owners   map[string]*owner
+
+	client    *http.Client
+	logf      func(format string, args ...any)
+	started   time.Time
+	ownerTTL  time.Duration
+	lastSweep time.Time
+	now       func() time.Time // injectable clock for aging tests
+}
+
+// New builds an empty router; add engines with AddBackend.
+func New(opts ...Option) *Router {
+	rt := &Router{
+		backends: make(map[string]*backend),
+		owners:   make(map[string]*owner),
+		client:   &http.Client{Timeout: 30 * time.Second},
+		logf:     func(string, ...any) {},
+		started:  time.Now(),
+		ownerTTL: DefaultOwnerTTL,
+		now:      time.Now,
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// sweepOwnersLocked drops affinity entries that have seen no traffic for
+// ownerTTL, at most once per ownerSweepInterval — the bound that keeps the
+// table proportional to *live* sessions, not all sessions ever created.
+func (rt *Router) sweepOwnersLocked(now time.Time) {
+	if now.Sub(rt.lastSweep) < ownerSweepInterval {
+		return
+	}
+	rt.lastSweep = now
+	for id, own := range rt.owners {
+		if now.Sub(own.lastSeen) > rt.ownerTTL {
+			delete(rt.owners, id)
+		}
+	}
+}
+
+// AddBackend registers an engine under a stable name. Adding a shard
+// re-partitions the ring and migrates any tracked session whose collection
+// now hashes to a different owner — the scale-out half of live migration.
+// Migration failures are logged and leave the session on its old backend;
+// affinity keeps it served there, so a failed rebalance degrades placement,
+// never correctness.
+func (rt *Router) AddBackend(name, rawURL string) error {
+	if name == "" {
+		return errors.New("router: backend name must be non-empty")
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("router: invalid backend URL %q", rawURL)
+	}
+	rt.mu.Lock()
+	if _, ok := rt.backends[name]; ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("router: backend %q already registered", name)
+	}
+	rt.backends[name] = &backend{name: name, base: u}
+	rt.rebuildRingLocked()
+	moves := rt.misplacedLocked()
+	rt.mu.Unlock()
+	rt.migrateAll(moves)
+	return nil
+}
+
+// Drain marks a backend as accepting no new placements and migrates every
+// tracked session it holds to the remaining engines, returning how many
+// resources moved. After a successful drain the engine can be shut down;
+// its former sessions keep their IDs and continue on their new owners.
+func (rt *Router) Drain(name string) (int, error) {
+	rt.mu.Lock()
+	b, ok := rt.backends[name]
+	if !ok {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("router: no backend %q", name)
+	}
+	b.draining = true
+	rt.rebuildRingLocked()
+	if len(rt.ring) == 0 {
+		b.draining = false
+		rt.rebuildRingLocked()
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("router: cannot drain %q: no other live backend", name)
+	}
+	moves := rt.misplacedLocked()
+	rt.mu.Unlock()
+	return rt.migrateAll(moves), nil
+}
+
+// RemoveBackend forgets a (typically drained) engine. Affinity entries
+// still pointing at it are dropped; any state not migrated off first is
+// lost to the router.
+func (rt *Router) RemoveBackend(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b, ok := rt.backends[name]
+	if !ok {
+		return fmt.Errorf("router: no backend %q", name)
+	}
+	delete(rt.backends, name)
+	for id, own := range rt.owners {
+		if own.b == b {
+			delete(rt.owners, id)
+		}
+	}
+	rt.rebuildRingLocked()
+	return nil
+}
+
+// rebuildRingLocked recomputes the virtual-node ring over the non-draining
+// backends.
+func (rt *Router) rebuildRingLocked() {
+	rt.ring = rt.ring[:0]
+	for _, b := range rt.backends {
+		if b.draining {
+			continue
+		}
+		for i := 0; i < vnodes; i++ {
+			rt.ring = append(rt.ring, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", b.name, i)), b: b})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool {
+		if rt.ring[i].hash != rt.ring[j].hash {
+			return rt.ring[i].hash < rt.ring[j].hash
+		}
+		return rt.ring[i].b.name < rt.ring[j].b.name
+	})
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	// FNV alone has poor avalanche on short, similar strings ("a#0".."a#63"
+	// differ in a few trailing bytes), which clusters a backend's virtual
+	// nodes into one contiguous arc and hands nearly the whole keyspace to
+	// one engine. The splitmix64 finalizer scatters them.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ringOwnerLocked returns the backend the key's collection hashes to, or
+// nil when no live backend exists.
+func (rt *Router) ringOwnerLocked(key string) *backend {
+	if len(rt.ring) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	return rt.ring[i].b
+}
+
+// move is one pending migration, with the endpoints pinned under the lock
+// that planned it.
+type move struct {
+	id         string
+	src, dest  *backend
+	kindPath   string
+	collection string
+}
+
+// misplacedLocked lists every tracked resource whose current backend is no
+// longer its ring owner (drained, or displaced by a new shard).
+func (rt *Router) misplacedLocked() []move {
+	var moves []move
+	for id, own := range rt.owners {
+		dest := rt.ringOwnerLocked(own.collection)
+		if dest != nil && dest != own.b {
+			moves = append(moves, move{id: id, src: own.b, dest: dest,
+				kindPath: own.kindPath, collection: own.collection})
+		}
+	}
+	return moves
+}
+
+// migrateAll performs the moves, returning how many resources actually
+// moved (sessions found already expired on export count as nothing moved,
+// not as a success).
+func (rt *Router) migrateAll(moves []move) int {
+	n := 0
+	for _, m := range moves {
+		moved, err := rt.migrate(m)
+		if err != nil {
+			rt.logf("router: migrating %s %s from %s to %s: %v",
+				strings.TrimSuffix(m.kindPath, "s"), m.id, m.src.name, m.dest.name, err)
+			continue
+		}
+		if moved {
+			n++
+		}
+	}
+	return n
+}
+
+// migrate moves one live resource between engines through the portable
+// state protocol: export from the old owner, import under the same ID on
+// the new one, delete the original. A session that already expired is
+// simply forgotten.
+func (rt *Router) migrate(m move) (bool, error) {
+	stateURL := m.src.base.JoinPath("v1", m.kindPath, m.id, "state")
+	resp, err := rt.client.Get(stateURL.String())
+	if err != nil {
+		return false, fmt.Errorf("export: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	resp.Body.Close()
+	if err != nil {
+		return false, fmt.Errorf("export: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		// Expired or deleted behind our back: nothing to move.
+		rt.dropOwner(m.id)
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("export: backend answered %d: %s", resp.StatusCode, trim(body))
+	}
+	var state server.StateResponse
+	if err := json.Unmarshal(body, &state); err != nil {
+		return false, fmt.Errorf("export: %w", err)
+	}
+	importBody, err := json.Marshal(server.ImportStateRequest{Collection: state.Collection, State: state.State})
+	if err != nil {
+		return false, err
+	}
+	importURL := m.dest.base.JoinPath("v1", m.kindPath, m.id, "state")
+	req, err := http.NewRequest(http.MethodPut, importURL.String(), bytes.NewReader(importBody))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	iresp, err := rt.client.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("import: %w", err)
+	}
+	ibody, _ := io.ReadAll(io.LimitReader(iresp.Body, maxProxyBody))
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("import: backend answered %d: %s", iresp.StatusCode, trim(ibody))
+	}
+	rt.mu.Lock()
+	if own, ok := rt.owners[m.id]; ok && own.b == m.src {
+		own.b = m.dest
+	}
+	rt.mu.Unlock()
+	// Best-effort: remove the original so the drained engine frees its slot
+	// (and a half-dead engine cannot serve a stale twin if traffic somehow
+	// reaches it directly).
+	delURL := m.src.base.JoinPath("v1", m.kindPath, m.id)
+	if delReq, err := http.NewRequest(http.MethodDelete, delURL.String(), nil); err == nil {
+		if dresp, derr := rt.client.Do(delReq); derr == nil {
+			dresp.Body.Close()
+		}
+	}
+	return true, nil
+}
+
+func trim(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "…"
+	}
+	return s
+}
+
+func (rt *Router) dropOwner(id string) {
+	rt.mu.Lock()
+	delete(rt.owners, id)
+	rt.mu.Unlock()
+}
+
+// Handler returns the router's HTTP handler: the full engine protocol
+// (versioned and legacy-alias paths), plus the router admin endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc("POST "+prefix+"/collections/{collection}/sessions", rt.handleCreate("sessions"))
+		mux.HandleFunc("POST "+prefix+"/collections/{collection}/batches", rt.handleCreate("batches"))
+		mux.HandleFunc(prefix+"/collections", rt.handleAnyBackend)
+		mux.HandleFunc(prefix+"/sessions/{id}/{rest...}", rt.handleResource("sessions"))
+		mux.HandleFunc(prefix+"/sessions/{id}", rt.handleResource("sessions"))
+		mux.HandleFunc(prefix+"/batches/{id}/{rest...}", rt.handleResource("batches"))
+		mux.HandleFunc(prefix+"/batches/{id}", rt.handleResource("batches"))
+		mux.HandleFunc("GET "+prefix+"/healthz", rt.handleHealthz)
+		mux.HandleFunc("GET "+prefix+"/stats", rt.handleStats)
+	}
+	mux.HandleFunc("GET /v1/router/backends", rt.handleListBackends)
+	mux.HandleFunc("POST /v1/router/backends/{name}/drain", rt.handleDrain)
+	return mux
+}
+
+// handleCreate places a new session or batch on the collection's ring owner
+// and learns the minted ID from the response, establishing affinity.
+func (rt *Router) handleCreate(kindPath string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		collection := r.PathValue("collection")
+		rt.mu.RLock()
+		b := rt.ringOwnerLocked(collection)
+		rt.mu.RUnlock()
+		if b == nil {
+			rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+			return
+		}
+		status, body, err := rt.forward(r, b)
+		if err != nil {
+			rt.writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		if status == http.StatusCreated {
+			var created struct {
+				SessionID string `json:"session_id"`
+				BatchID   string `json:"batch_id"`
+			}
+			if err := json.Unmarshal(body, &created); err == nil {
+				id := created.SessionID
+				if kindPath == "batches" {
+					id = created.BatchID
+				}
+				if id != "" {
+					rt.mu.Lock()
+					now := rt.now()
+					rt.owners[id] = &owner{b: b, kindPath: kindPath, collection: collection, lastSeen: now}
+					rt.sweepOwnersLocked(now)
+					rt.mu.Unlock()
+				}
+			}
+		}
+		writeRaw(w, status, body)
+	}
+}
+
+// handleResource forwards session/batch traffic to the backend that owns
+// the ID. A 404 from the backend (expired) or a DELETE drops the affinity
+// entry; an untracked ID is answered 404 without bothering any engine.
+func (rt *Router) handleResource(kindPath string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		rt.mu.Lock()
+		own, ok := rt.owners[id]
+		var b *backend
+		if ok && own.kindPath == kindPath {
+			b = own.b
+			own.lastSeen = rt.now() // active sessions never age out
+		}
+		rt.mu.Unlock()
+		if b == nil {
+			// One special case: a state import (PUT …/state) may target an ID
+			// the router has never seen — an external restore. Place it by
+			// the collection named in the body.
+			if r.Method == http.MethodPut && strings.HasSuffix(r.URL.Path, "/state") {
+				rt.handleExternalImport(w, r, kindPath, id)
+				return
+			}
+			rt.writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired %s", strings.TrimSuffix(kindPath, "s")))
+			return
+		}
+		status, body, err := rt.forward(r, b)
+		if err != nil {
+			rt.writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		if status == http.StatusNotFound || (r.Method == http.MethodDelete && status < 300) {
+			rt.dropOwner(id)
+		}
+		writeRaw(w, status, body)
+	}
+}
+
+// handleExternalImport routes a PUT …/state for an ID the router does not
+// know: the body names the collection, whose ring owner receives the
+// import, and the router starts tracking the ID.
+func (rt *Router) handleExternalImport(w http.ResponseWriter, r *http.Request, kindPath, id string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct {
+		Collection string `json:"collection"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Collection == "" {
+		rt.writeError(w, http.StatusBadRequest, errors.New("state import needs a JSON body naming its collection"))
+		return
+	}
+	rt.mu.RLock()
+	b := rt.ringOwnerLocked(req.Collection)
+	rt.mu.RUnlock()
+	if b == nil {
+		rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+		return
+	}
+	status, respBody, err := rt.forwardBody(r, b, body)
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	if status == http.StatusOK {
+		rt.mu.Lock()
+		rt.owners[id] = &owner{b: b, kindPath: kindPath, collection: req.Collection, lastSeen: rt.now()}
+		rt.mu.Unlock()
+	}
+	writeRaw(w, status, respBody)
+}
+
+// handleAnyBackend serves registry-level reads from any live backend (all
+// engines register the same collections in a homogeneous fleet).
+func (rt *Router) handleAnyBackend(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	var b *backend
+	if len(rt.ring) > 0 {
+		b = rt.ring[0].b
+	}
+	rt.mu.RUnlock()
+	if b == nil {
+		rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+		return
+	}
+	status, body, err := rt.forward(r, b)
+	if err != nil {
+		rt.writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeRaw(w, status, body)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	live := len(rt.ring) > 0
+	rt.mu.RUnlock()
+	if !live {
+		rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+		return
+	}
+	writeJSON(w, http.StatusOK, server.HealthzResponse{Status: "ok"})
+}
+
+// statsProbeTimeout bounds each backend's stats probe: a dead engine (e.g.
+// drained and shut down, still registered) must cost the monitoring
+// endpoint a couple of seconds, not the client's full 30s timeout.
+const statsProbeTimeout = 2 * time.Second
+
+// handleStats aggregates every live backend's /v1/stats into one fleet
+// view; per-backend rows keep the detail. Backends are probed concurrently
+// with a short per-probe timeout so one dead engine cannot stall the
+// endpoint.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	backends := make([]*backend, 0, len(rt.backends))
+	for _, b := range rt.backends {
+		backends = append(backends, b)
+	}
+	tracked := len(rt.owners)
+	rt.mu.RUnlock()
+	sort.Slice(backends, func(i, j int) bool { return backends[i].name < backends[j].name })
+
+	resp := RouterStatsResponse{
+		Status:          "ok",
+		UptimeSeconds:   int64(time.Since(rt.started) / time.Second),
+		TrackedSessions: tracked,
+		Backends:        make([]BackendStats, len(backends)),
+	}
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		resp.Backends[i] = BackendStats{Name: b.name, URL: b.base.String(), Draining: b.draining}
+		wg.Add(1)
+		go func(row *BackendStats, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), statsProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base.JoinPath("v1", "stats").String(), nil)
+			if err != nil {
+				return
+			}
+			sresp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			body, rerr := io.ReadAll(io.LimitReader(sresp.Body, maxProxyBody))
+			sresp.Body.Close()
+			var stats server.StatsResponse
+			if rerr == nil && sresp.StatusCode == http.StatusOK && json.Unmarshal(body, &stats) == nil {
+				row.Alive = true
+				row.Sessions = stats.Sessions
+				row.Batches = stats.Batches
+				row.LiveDiscoveries = stats.LiveDiscoveries
+			}
+		}(&resp.Backends[i], b)
+	}
+	wg.Wait()
+	for _, row := range resp.Backends {
+		resp.Sessions += row.Sessions
+		resp.Batches += row.Batches
+		resp.LiveDiscoveries += row.LiveDiscoveries
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleListBackends(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	out := make([]BackendStats, 0, len(rt.backends))
+	counts := make(map[string]int)
+	for _, own := range rt.owners {
+		counts[own.b.name]++
+	}
+	for _, b := range rt.backends {
+		out = append(out, BackendStats{
+			Name: b.name, URL: b.base.String(), Draining: b.draining,
+			Sessions: counts[b.name],
+		})
+	}
+	rt.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	migrated, err := rt.Drain(name)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "no backend") {
+			status = http.StatusNotFound
+		}
+		rt.writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{Backend: name, Migrated: migrated})
+}
+
+// forward replays the incoming request against a backend, buffering the
+// request body first.
+func (rt *Router) forward(r *http.Request, b *backend) (int, []byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return rt.forwardBody(r, b, body)
+}
+
+// forwardBody replays the request with an explicit body.
+func (rt *Router) forwardBody(r *http.Request, b *backend, body []byte) (int, []byte, error) {
+	target := b.base.JoinPath(r.URL.Path)
+	target.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("backend %s unreachable: %w", b.name, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		return 0, nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		rt.logf("router: %v", err)
+	}
+	writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
+}
+
+// RouterStatsResponse is the fleet view served by the router's GET
+// /v1/stats: per-backend liveness and load plus the aggregate.
+type RouterStatsResponse struct {
+	Status          string         `json:"status"`
+	UptimeSeconds   int64          `json:"uptime_seconds"`
+	Sessions        int            `json:"sessions"`
+	Batches         int            `json:"batches"`
+	LiveDiscoveries int            `json:"live_discoveries"`
+	TrackedSessions int            `json:"tracked_sessions"`
+	Backends        []BackendStats `json:"backends"`
+}
+
+// BackendStats is one engine's row in the fleet view.
+type BackendStats struct {
+	Name            string `json:"name"`
+	URL             string `json:"url"`
+	Alive           bool   `json:"alive"`
+	Draining        bool   `json:"draining"`
+	Sessions        int    `json:"sessions"`
+	Batches         int    `json:"batches"`
+	LiveDiscoveries int    `json:"live_discoveries"`
+}
+
+// DrainResponse reports a drain's outcome (POST
+// /v1/router/backends/{name}/drain).
+type DrainResponse struct {
+	Backend  string `json:"backend"`
+	Migrated int    `json:"migrated"`
+}

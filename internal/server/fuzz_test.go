@@ -49,7 +49,7 @@ func FuzzDecodeRequests(f *testing.F) {
 			&BatchAnswerRequest{},
 		} {
 			req := httptest.NewRequest("POST", "/", bytes.NewReader(body))
-			_ = decodeJSON(req, v)
+			_ = decodeJSON(req, v, maxBodyBytes)
 		}
 	})
 }
@@ -129,5 +129,5 @@ func FuzzBatchEndpoints(f *testing.F) {
 
 // decodeBody decodes a JSON response body.
 func decodeBody(b []byte, v any) error {
-	return decodeJSON(httptest.NewRequest("POST", "/", bytes.NewReader(b)), v)
+	return decodeJSON(httptest.NewRequest("POST", "/", bytes.NewReader(b)), v, maxBodyBytes)
 }

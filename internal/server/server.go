@@ -5,23 +5,41 @@
 //
 // A Server holds a registry of named collections (each optionally paired
 // with a prebuilt decision tree) and TTL-bounded stores of live sessions
-// and batches keyed by opaque IDs. The JSON protocol (see wire.go):
+// and batches keyed by opaque IDs. The JSON protocol is versioned under
+// /v1/ (see wire.go); the pre-versioning unversioned routes remain mounted
+// as thin aliases of the same handlers, pinned by a compatibility test
+// suite, so existing clients keep working:
 //
 //	GET    /v1/collections                            list collections
+//	GET    /v1/healthz                                liveness probe
+//	GET    /v1/stats                                  load/uptime/collection stats
 //	POST   /v1/collections/{collection}/sessions      create a session
 //	GET    /v1/sessions/{id}/question                 re-fetch the question
 //	POST   /v1/sessions/{id}/answer                   answer, get next question
 //	GET    /v1/sessions/{id}/result                   outcome / progress
+//	GET    /v1/sessions/{id}/state                    export portable state
+//	PUT    /v1/sessions/{id}/state                    import portable state
 //	DELETE /v1/sessions/{id}                          end a session early
 //	POST   /v1/collections/{collection}/batches       create a batch of sessions
 //	GET    /v1/batches/{id}/questions                 all members' pending questions
 //	POST   /v1/batches/{id}/answers                   one round of answers
 //	GET    /v1/batches/{id}/results                   all members' outcomes
+//	GET    /v1/batches/{id}/state                     export portable state
+//	PUT    /v1/batches/{id}/state                     import portable state
 //	DELETE /v1/batches/{id}                           end a batch early
 //
-// Batches are the amortised fan-in: one POST steps many sessions, and
-// members at the same candidate-set state share one selection/partition
-// computation per round instead of each paying the full selection cost.
+// Sessions and batches are two views of one resource model — an ordered
+// list of member sessions (see resource.go) — served by a shared handler
+// core: one answer-validation path, one result renderer, one state
+// export/import path for both.
+//
+// The state endpoints make sessions portable: GET …/state returns an opaque
+// versioned snapshot (the engine's binary encoding, base64 in JSON), and
+// PUT …/state recreates the resource — on this server or another one
+// holding the same collection — under the ID in the URL, resuming exactly
+// where it stopped. That pair is what the router tier builds live migration
+// out of: drain engine A, re-import its sessions on engine B, clients never
+// notice beyond the ID staying valid.
 //
 // Everything scales with PR 1's concurrency model: collections and trees
 // are immutable and shared, sessions with equal options draw strategies
@@ -61,6 +79,15 @@ func WithMaxSessions(n int) Option { return func(s *Server) { s.maxSessions = n 
 // unbounded number of sessions.
 func WithMaxBatchMembers(n int) Option { return func(s *Server) { s.maxBatchMembers = n } }
 
+// WithSlidingTTL selects the session-expiry policy. On (the default), every
+// touch of a session — question fetch, answer, result, state export —
+// slides its deadline forward by the TTL, so a slow-but-active interactive
+// user can never lose a session mid-discovery to a timeout tuned for
+// abandoned ones. Off, the deadline is fixed at creation: a hard wall-clock
+// budget per discovery, for deployments that must bound worst-case session
+// lifetime regardless of activity.
+func WithSlidingTTL(on bool) Option { return func(s *Server) { s.sliding = on } }
+
 // WithLogf routes request-error logging (default: discarded).
 func WithLogf(f func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = f }
@@ -70,7 +97,8 @@ func WithLogf(f func(format string, args ...any)) Option {
 // creates; request-supplied options are applied after them and win on
 // conflict. The primary use is setdiscovery.WithCacheBound, so a server
 // meant to run indefinitely caps the per-collection lookahead caches its
-// sessions share (setdiscd wires -cache-bound through here).
+// sessions share (setdiscd wires -cache-bound through here). The same base
+// options are applied when a session is restored from imported state.
 func WithSessionOptions(opts ...setdiscovery.Option) Option {
 	return func(s *Server) { s.sessionOpts = append(s.sessionOpts, opts...) }
 }
@@ -93,8 +121,10 @@ type Server struct {
 	ttl             time.Duration
 	maxSessions     int
 	maxBatchMembers int
+	sliding         bool
 	sessionOpts     []setdiscovery.Option
 	logf            func(format string, args ...any)
+	started         time.Time
 }
 
 // DefaultMaxBatchMembers bounds how many member sessions one create-batch
@@ -106,7 +136,9 @@ func New(opts ...Option) *Server {
 	s := &Server{
 		collections:     make(map[string]*collectionEntry),
 		maxBatchMembers: DefaultMaxBatchMembers,
+		sliding:         true,
 		logf:            func(string, ...any) {},
+		started:         time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -114,6 +146,7 @@ func New(opts ...Option) *Server {
 	// One store for sessions and batches: the capacity is a budget of live
 	// discoveries, and a batch counts every member against it.
 	s.store = NewStore(s.ttl, s.maxSessions)
+	s.store.SetSliding(s.sliding)
 	return s
 }
 
@@ -163,25 +196,78 @@ func (s *Server) BatchCount() int {
 	return batches
 }
 
-// Handler returns the HTTP handler serving the protocol.
+// Handler returns the HTTP handler serving the protocol: the canonical
+// /v1/ routes plus the legacy unversioned aliases (identical handlers, so
+// pre-versioning clients keep working; the compatibility suite in
+// compat_test.go pins them).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/collections", s.handleListCollections)
-	mux.HandleFunc("POST /v1/collections/{collection}/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /v1/sessions/{id}/question", s.handleGetQuestion)
-	mux.HandleFunc("POST /v1/sessions/{id}/answer", s.handleAnswer)
-	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleGetResult)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("POST /v1/collections/{collection}/batches", s.handleCreateBatch)
-	mux.HandleFunc("GET /v1/batches/{id}/questions", s.handleBatchQuestions)
-	mux.HandleFunc("POST /v1/batches/{id}/answers", s.handleBatchAnswers)
-	mux.HandleFunc("GET /v1/batches/{id}/results", s.handleBatchResults)
-	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleDeleteBatch)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	})
+	s.routes(mux, "/v1")
+	s.routes(mux, "")
 	return mux
+}
+
+// routes mounts the full protocol under one path prefix.
+func (s *Server) routes(mux *http.ServeMux, prefix string) {
+	mux.HandleFunc("GET "+prefix+"/collections", s.handleListCollections)
+	if prefix == "" {
+		// The pre-versioning /healthz answered plain-text "ok\n"; probes
+		// configured against that body must keep passing, so only the /v1
+		// route carries the JSON shape.
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok\n")
+		})
+	} else {
+		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+	}
+	mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	mux.HandleFunc("POST "+prefix+"/collections/{collection}/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/question", s.handleGetQuestion)
+	mux.HandleFunc("POST "+prefix+"/sessions/{id}/answer", s.handleAnswer)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/result", s.handleGetResult)
+	mux.HandleFunc("GET "+prefix+"/sessions/{id}/state", s.handleExportState(KindSession))
+	mux.HandleFunc("PUT "+prefix+"/sessions/{id}/state", s.handleImportState(KindSession))
+	mux.HandleFunc("DELETE "+prefix+"/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST "+prefix+"/collections/{collection}/batches", s.handleCreateBatch)
+	mux.HandleFunc("GET "+prefix+"/batches/{id}/questions", s.handleBatchQuestions)
+	mux.HandleFunc("POST "+prefix+"/batches/{id}/answers", s.handleBatchAnswers)
+	mux.HandleFunc("GET "+prefix+"/batches/{id}/results", s.handleBatchResults)
+	mux.HandleFunc("GET "+prefix+"/batches/{id}/state", s.handleExportState(KindBatch))
+	mux.HandleFunc("PUT "+prefix+"/batches/{id}/state", s.handleImportState(KindBatch))
+	mux.HandleFunc("DELETE "+prefix+"/batches/{id}", s.handleDeleteBatch)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sessions, batches := s.store.Counts()
+	resp := StatsResponse{
+		Status:          "ok",
+		UptimeSeconds:   int64(time.Since(s.started) / time.Second),
+		Sessions:        sessions,
+		Batches:         batches,
+		LiveDiscoveries: s.store.Used(),
+		MaxSessions:     s.store.max,
+		TTLSeconds:      int64(s.store.ttl / time.Second),
+		SlidingTTL:      s.sliding,
+	}
+	s.mu.RLock()
+	for name, e := range s.collections {
+		resp.Collections = append(resp.Collections, CollectionStats{
+			Name:     name,
+			Sets:     e.c.Len(),
+			Entities: e.c.Internal().DistinctEntities(),
+			Tree:     e.tree != nil,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(resp.Collections, func(i, j int) bool {
+		return resp.Collections[i].Name < resp.Collections[j].Name
+	})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
@@ -195,17 +281,41 @@ func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("collection")
+// entry resolves the request's {collection} path value, writing a 404 on
+// failure — the shared front half of every create/import handler.
+func (s *Server) entry(w http.ResponseWriter, name string) (*collectionEntry, bool) {
 	s.mu.RLock()
 	e, ok := s.collections[name]
 	s.mu.RUnlock()
 	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
+		return nil, false
+	}
+	return e, true
+}
+
+// put stores a new resource, mapping a full store to 503 — the shared back
+// half of every create handler.
+func (s *Server) put(w http.ResponseWriter, st *Stored) (string, bool) {
+	id, err := s.store.Put(st)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrStoreFull) {
+			status = http.StatusServiceUnavailable
+		}
+		s.writeError(w, status, err)
+		return "", false
+	}
+	return id, true
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r.PathValue("collection"))
+	if !ok {
 		return
 	}
 	var req CreateSessionRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -214,16 +324,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.store.Put(&Stored{Session: sess, Collection: name})
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrStoreFull) {
-			status = http.StatusServiceUnavailable
-		}
-		s.writeError(w, status, err)
+	st := &Stored{Session: sess, Collection: r.PathValue("collection")}
+	id, ok := s.put(w, st)
+	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, questionSnapshot(id, sess))
+	s.writeJSON(w, http.StatusCreated, questionSnapshot(id, st))
 }
 
 // newSessionFrom builds the requested kind of session over e. base options
@@ -280,97 +386,70 @@ func sessionOptions(cfg SessionConfig, base []setdiscovery.Option) ([]setdiscove
 }
 
 func (s *Server) handleGetQuestion(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.session(w, r)
+	id, st, ok := s.lookup(w, r, KindSession)
 	if !ok {
 		return
 	}
 	st.Mu.Lock()
-	resp := questionSnapshot(id, st.Session)
+	resp := questionSnapshot(id, st)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.session(w, r)
+	id, st, ok := s.lookup(w, r, KindSession)
 	if !ok {
 		return
 	}
 	var req AnswerRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	a, err := parseAnswer(req.Answer)
-	if err != nil {
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	st.Mu.Lock()
-	if req.Entity != "" || req.Confirm != "" {
-		q, done := st.Session.Next()
-		if done || q.Entity != req.Entity || q.Confirm != req.Confirm {
-			st.Mu.Unlock()
-			s.writeError(w, http.StatusConflict, fmt.Errorf(
-				"answer names question {entity:%q confirm:%q} but the pending question is {entity:%q confirm:%q}: it was likely already answered",
-				req.Entity, req.Confirm, q.Entity, q.Confirm))
-			return
-		}
-	}
-	err = st.Session.Answer(a)
-	resp := questionSnapshot(id, st.Session)
+	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm)
+	resp := questionSnapshot(id, st)
 	st.Mu.Unlock()
 	if err != nil {
-		// The only Answer errors are protocol misuse: answering a finished
-		// session (or racing another client for the same question).
-		s.writeError(w, http.StatusConflict, err)
+		// Stale protocol state (mismatched question assertion, answering a
+		// finished session) is 409; a malformed answer value is 400.
+		status := http.StatusBadRequest
+		var conflict *answerConflictError
+		if errors.As(err, &conflict) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.session(w, r)
+	id, st, ok := s.lookup(w, r, KindSession)
 	if !ok {
 		return
 	}
 	st.Mu.Lock()
-	done := st.Session.Done()
-	res, err := st.Session.Result()
+	resp := ResultResponse{SessionID: id, Done: st.Done(), ResultBody: resultBody(st, 0)}
 	st.Mu.Unlock()
-	resp := ResultResponse{SessionID: id, Done: done}
-	if err != nil {
-		// A terminal discovery failure (contradiction with backtracking off
-		// or exhausted) is a session outcome, not a transport error.
-		resp.Error = err.Error()
-	} else {
-		resp.Target = res.Target
-		resp.Candidates = res.Candidates
-		resp.Questions = res.Questions
-		resp.Interactions = res.Interactions
-		resp.Backtracks = res.Backtracks
-		resp.SelectionTimeUS = res.SelectionTime.Microseconds()
-	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	// Kind-matched: sessions and batches share the ID namespace, and a
 	// batch ID sent here must stay untouched (not even TTL-refreshed).
-	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Session != nil })
+	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Kind() == KindSession })
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("collection")
-	s.mu.RLock()
-	e, ok := s.collections[name]
-	s.mu.RUnlock()
+	e, ok := s.entry(w, name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no collection %q", name))
 		return
 	}
 	var req CreateBatchRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -397,50 +476,45 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.store.Put(&Stored{Batch: b, Collection: name})
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrStoreFull) {
-			status = http.StatusServiceUnavailable
-		}
-		s.writeError(w, status, err)
+	st := &Stored{Batch: b, Collection: name}
+	id, ok := s.put(w, st)
+	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, batchSnapshot(id, b, nil))
+	s.writeJSON(w, http.StatusCreated, batchSnapshot(id, st, nil))
 }
 
 func (s *Server) handleBatchQuestions(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.batch(w, r)
+	id, st, ok := s.lookup(w, r, KindBatch)
 	if !ok {
 		return
 	}
 	st.Mu.Lock()
-	resp := batchSnapshot(id, st.Batch, nil)
+	resp := batchSnapshot(id, st, nil)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleBatchAnswers applies one round of replies. Replies are applied
-// member by member through the shared scheduler, the round's shared state
+// member by member through the shared answer core, the round's shared state
 // is released once, and per-member failures (bad answer, stale question
 // assertion, finished member) are reported in that member's snapshot entry
 // while the rest of the round proceeds — so a retried POST whose first
 // attempt was partially applied converges instead of failing wholesale.
 func (s *Server) handleBatchAnswers(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.batch(w, r)
+	id, st, ok := s.lookup(w, r, KindBatch)
 	if !ok {
 		return
 	}
 	var req BatchAnswerRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(r, &req, maxBodyBytes); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	memberErrs := make(map[int]string)
 	st.Mu.Lock()
-	b := st.Batch
 	for _, ma := range req.Answers {
-		if ma.Member < 0 || ma.Member >= b.Len() {
+		if ma.Member < 0 || ma.Member >= st.Members() {
 			// Out-of-range members have no snapshot row to carry the error;
 			// reject the whole request before touching any session.
 			st.Mu.Unlock()
@@ -449,56 +523,31 @@ func (s *Server) handleBatchAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, ma := range req.Answers {
-		if ma.Entity != "" || ma.Confirm != "" {
-			q, done := b.Question(ma.Member)
-			if done || q.Entity != ma.Entity || q.Confirm != ma.Confirm {
-				memberErrs[ma.Member] = fmt.Sprintf(
-					"answer names question {entity:%q confirm:%q} but the pending question is {entity:%q confirm:%q}: it was likely already answered",
-					ma.Entity, ma.Confirm, q.Entity, q.Confirm)
-				continue
-			}
-		}
-		a, err := parseAnswer(ma.Answer)
-		if err != nil {
-			memberErrs[ma.Member] = err.Error()
-			continue
-		}
-		if err := b.AnswerMember(ma.Member, a); err != nil {
+		if err := st.applyMemberAnswer(ma.Member, ma.Answer, ma.Entity, ma.Confirm); err != nil {
 			memberErrs[ma.Member] = err.Error()
 		}
 	}
-	b.EndRound()
-	resp := batchSnapshot(id, b, memberErrs)
+	st.EndRound()
+	resp := batchSnapshot(id, st, memberErrs)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request) {
-	id, st, ok := s.batch(w, r)
+	id, st, ok := s.lookup(w, r, KindBatch)
 	if !ok {
 		return
 	}
 	st.Mu.Lock()
-	b := st.Batch
-	resp := BatchResultsResponse{BatchID: id, Done: b.Done()}
-	for i := 0; i < b.Len(); i++ {
-		mr := MemberResult{Member: i, Done: b.MemberDone(i)}
-		res, err := b.Result(i)
-		if err != nil {
-			// A terminal discovery failure is a member outcome, not a
-			// transport error — exactly as in handleGetResult.
-			mr.Error = err.Error()
-		} else {
-			mr.Target = res.Target
-			mr.Candidates = res.Candidates
-			mr.Questions = res.Questions
-			mr.Interactions = res.Interactions
-			mr.Backtracks = res.Backtracks
-			mr.SelectionTimeUS = res.SelectionTime.Microseconds()
-		}
-		resp.Members = append(resp.Members, mr)
+	resp := BatchResultsResponse{BatchID: id, Done: st.Done()}
+	for i := 0; i < st.Members(); i++ {
+		resp.Members = append(resp.Members, MemberResult{
+			Member:     i,
+			Done:       st.MemberDone(i),
+			ResultBody: resultBody(st, i),
+		})
 	}
-	stats := b.Stats()
+	stats := st.Batch.Stats()
 	resp.SelectionsComputed = stats.Selections
 	resp.SelectionsShared = stats.SelectionsShared
 	st.Mu.Unlock()
@@ -506,62 +555,164 @@ func (s *Server) handleBatchResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
-	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Batch != nil })
+	s.store.DeleteIf(r.PathValue("id"), func(st *Stored) bool { return st.Kind() == KindBatch })
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// batch resolves the request's batch ID, writing a 404 on failure (or when
-// the ID names a single session).
-func (s *Server) batch(w http.ResponseWriter, r *http.Request) (string, *Stored, bool) {
+// handleExportState serves GET …/state for either kind: the resource's
+// portable snapshot, ready to be re-imported here or on another engine.
+func (s *Server) handleExportState(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id, st, ok := s.lookup(w, r, kind)
+		if !ok {
+			return
+		}
+		st.Mu.Lock()
+		state, err := st.Snapshot()
+		st.Mu.Unlock()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp := StateResponse{Collection: st.Collection, Kind: st.Kind(), State: state}
+		if kind == KindBatch {
+			resp.BatchID = id
+		} else {
+			resp.SessionID = id
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// handleImportState serves PUT …/state for either kind: restore the
+// snapshot over the named collection and store it under the ID in the URL —
+// idempotently, so a retried migration PUT converges. The resource resumes
+// exactly where the exported one stopped.
+func (s *Server) handleImportState(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !validImportID(id) {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf(
+				"invalid id %q: want 1-128 characters of [A-Za-z0-9_-]", id))
+			return
+		}
+		var req ImportStateRequest
+		if err := decodeJSON(r, &req, maxStateBytes); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		e, ok := s.entry(w, req.Collection)
+		if !ok {
+			return
+		}
+		st, err := restoreStored(e, req.Collection, req.State, kind, s.sessionOpts)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Render the response before the entry is published: the import ID is
+		// client-chosen (already known to other clients), so the instant
+		// PutWithID succeeds a concurrent request may lock and advance the
+		// resource — after that, reading it without st.Mu would race.
+		var resp any = questionSnapshot(id, st)
+		if kind == KindBatch {
+			resp = batchSnapshot(id, st, nil)
+		}
+		if err := s.store.PutWithID(id, st); err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrStoreFull):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, ErrKindMismatch):
+				// The ID already names a live resource of the other kind;
+				// replacing it would destroy it through the wrong endpoint.
+				status = http.StatusConflict
+			}
+			s.writeError(w, status, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// validImportID bounds client-chosen IDs (PUT …/state): opaque, URL-safe,
+// and short enough to be a map key forever.
+func validImportID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lookup resolves the request's {id} path value to a stored resource of the
+// wanted kind, writing a 404 on failure (or when the ID names the other
+// kind — sessions and batches share the ID namespace but not their
+// endpoints).
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request, kind string) (string, *Stored, bool) {
 	id := r.PathValue("id")
 	st, ok := s.store.Get(id)
-	if !ok || st.Batch == nil {
-		s.writeError(w, http.StatusNotFound, errors.New("unknown or expired batch"))
+	if !ok || st.Kind() != kind {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired %s", kind))
 		return id, nil, false
 	}
 	return id, st, true
 }
 
+// resultBody renders member i's outcome — the shared result shape of
+// session results and batch member results. A terminal discovery failure
+// (contradiction with backtracking off or exhausted) is a session outcome,
+// not a transport error. Callers hold the resource lock.
+func resultBody(st *Stored, i int) ResultBody {
+	res, err := st.Result(i)
+	if err != nil {
+		return ResultBody{Error: err.Error()}
+	}
+	return ResultBody{
+		Target:          res.Target,
+		Candidates:      res.Candidates,
+		Questions:       res.Questions,
+		Interactions:    res.Interactions,
+		Backtracks:      res.Backtracks,
+		SelectionTimeUS: res.SelectionTime.Microseconds(),
+	}
+}
+
 // batchSnapshot renders every member's pending interaction, merging
 // per-member errors from the answer round that produced it. Callers hold
-// the batch lock.
-func batchSnapshot(id string, b *setdiscovery.Batch, memberErrs map[int]string) BatchQuestionResponse {
-	resp := BatchQuestionResponse{BatchID: id, Done: b.Done()}
-	for i := 0; i < b.Len(); i++ {
-		q, done := b.Question(i)
+// the resource lock.
+func batchSnapshot(id string, st *Stored, memberErrs map[int]string) BatchQuestionResponse {
+	resp := BatchQuestionResponse{BatchID: id, Done: st.Done()}
+	for i := 0; i < st.Members(); i++ {
+		q, done := st.Question(i)
 		resp.Members = append(resp.Members, MemberQuestion{
 			Member:    i,
 			Done:      done,
 			Entity:    q.Entity,
 			Confirm:   q.Confirm,
-			Questions: b.MemberQuestions(i),
+			Questions: st.QuestionsAsked(i),
 			Error:     memberErrs[i],
 		})
 	}
 	return resp
 }
 
-// session resolves the request's session ID, writing a 404 on failure (or
-// when the ID names a batch).
-func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *Stored, bool) {
-	id := r.PathValue("id")
-	st, ok := s.store.Get(id)
-	if !ok || st.Session == nil {
-		s.writeError(w, http.StatusNotFound, errors.New("unknown or expired session"))
-		return id, nil, false
-	}
-	return id, st, true
-}
-
-// questionSnapshot renders the session's pending interaction. Callers hold
-// the session lock.
-func questionSnapshot(id string, sess *setdiscovery.Session) QuestionResponse {
+// questionSnapshot renders a single session's pending interaction. Callers
+// hold the resource lock.
+func questionSnapshot(id string, st *Stored) QuestionResponse {
 	resp := QuestionResponse{SessionID: id}
-	q, done := sess.Next()
+	q, done := st.Question(0)
 	resp.Done = done
 	resp.Entity = q.Entity
 	resp.Confirm = q.Confirm
-	resp.Questions = sess.Questions()
+	resp.Questions = st.QuestionsAsked(0)
 	return resp
 }
 
@@ -582,10 +733,16 @@ func parseAnswer(s string) (setdiscovery.Answer, error) {
 // maxBodyBytes bounds request bodies; create/answer requests are tiny.
 const maxBodyBytes = 1 << 20
 
+// maxStateBytes bounds state-import bodies, which carry whole serialized
+// sessions (a backtracking session's trail holds one candidate set per
+// answer) and so outgrow the interactive-request bound on large
+// collections.
+const maxStateBytes = 64 << 20
+
 // decodeJSON parses the request body into v. An empty body decodes to the
 // zero value, so POSTs with all-default parameters need no body at all.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+func decodeJSON(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		if errors.Is(err, io.EOF) {

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"setdiscovery"
+)
+
+// wireAnswer maps an oracle's reply to a pending question (entity or
+// confirmation) to the wire spelling.
+func wireAnswer(o setdiscovery.Oracle, entity, confirm string) string {
+	if confirm != "" {
+		if conf, ok := o.(setdiscovery.Confirmer); ok && conf.Confirm(confirm) {
+			return "yes"
+		}
+		return "no"
+	}
+	switch o.Answer(entity) {
+	case setdiscovery.Yes:
+		return "yes"
+	case setdiscovery.No:
+		return "no"
+	default:
+		return "unknown"
+	}
+}
+
+// finishOver drives a live session to completion over HTTP from its current
+// question, returning the entities asked along the way and the result.
+func finishOver(t *testing.T, baseURL string, q QuestionResponse, o setdiscovery.Oracle) ([]string, ResultResponse) {
+	t.Helper()
+	var asked []string
+	for rounds := 0; !q.Done; rounds++ {
+		if rounds > 100 {
+			t.Fatal("session did not converge")
+		}
+		if q.Entity != "" {
+			asked = append(asked, q.Entity)
+		}
+		var next QuestionResponse
+		if code := do(t, "POST", baseURL+"/v1/sessions/"+q.SessionID+"/answer",
+			AnswerRequest{Answer: wireAnswer(o, q.Entity, q.Confirm), Entity: q.Entity, Confirm: q.Confirm}, &next); code != http.StatusOK {
+			t.Fatalf("answer: status %d", code)
+		}
+		q = next
+	}
+	var res ResultResponse
+	if code := do(t, "GET", baseURL+"/v1/sessions/"+q.SessionID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	return asked, res
+}
+
+// getState exports a session's portable state.
+func getState(t *testing.T, baseURL, id string) StateResponse {
+	t.Helper()
+	var state StateResponse
+	if code := do(t, "GET", baseURL+"/v1/sessions/"+id+"/state", nil, &state); code != http.StatusOK {
+		t.Fatalf("get state: status %d", code)
+	}
+	if len(state.State) == 0 || state.Collection == "" {
+		t.Fatalf("state response incomplete: %+v", state)
+	}
+	return state
+}
+
+// TestStateExportImport is the serving acceptance test for portable
+// sessions (the restore-under-churn satellite): create a session, answer
+// half its questions, export its state, DELETE the original (the "expired /
+// lost engine" case), import the state on a *different* Server process, and
+// finish discovery over HTTP — with exactly the questions the
+// never-interrupted twin would have asked.
+func TestStateExportImport(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		create CreateSessionRequest
+	}{
+		{"loop", CreateSessionRequest{Initial: []string{"b"}}},
+		{"backtracking", CreateSessionRequest{SessionConfig: SessionConfig{Backtrack: true}}},
+		{"tree", CreateSessionRequest{Tree: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, tsA, c := newTestServer(t)
+			_, tsB, _ := newTestServer(t) // the second engine: fresh registry, fresh store
+
+			for _, target := range []string{"S1", "S4", "S7"} {
+				oracle, err := c.TargetOracle(target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The uninterrupted twin pins the expected question sequence.
+				twin := resolveAsked(t, tsA.URL, tc.create, oracle)
+
+				var q QuestionResponse
+				if code := do(t, "POST", tsA.URL+"/v1/collections/paper/sessions", tc.create, &q); code != http.StatusCreated {
+					t.Fatalf("create: status %d", code)
+				}
+				var firstHalf []string
+				for i := 0; i < len(twin.asked)/2 && !q.Done; i++ {
+					firstHalf = append(firstHalf, q.Entity)
+					var next QuestionResponse
+					if code := do(t, "POST", tsA.URL+"/v1/sessions/"+q.SessionID+"/answer",
+						AnswerRequest{Answer: wireAnswer(oracle, q.Entity, q.Confirm), Entity: q.Entity, Confirm: q.Confirm}, &next); code != http.StatusOK {
+						t.Fatalf("answer: status %d", code)
+					}
+					q = next
+				}
+				state := getState(t, tsA.URL, q.SessionID)
+
+				// Churn: the original is deleted before the import happens.
+				if code := do(t, "DELETE", tsA.URL+"/v1/sessions/"+q.SessionID, nil, nil); code != http.StatusNoContent {
+					t.Fatalf("delete: status %d", code)
+				}
+
+				var imported QuestionResponse
+				if code := do(t, "PUT", tsB.URL+"/v1/sessions/"+q.SessionID+"/state",
+					ImportStateRequest{Collection: state.Collection, State: state.State}, &imported); code != http.StatusOK {
+					t.Fatalf("import: status %d", code)
+				}
+				if imported.SessionID != q.SessionID {
+					t.Fatalf("import changed the session ID: %q -> %q", q.SessionID, imported.SessionID)
+				}
+				if imported.Entity != q.Entity || imported.Confirm != q.Confirm || imported.Questions != q.Questions {
+					t.Fatalf("imported session suspended elsewhere: %+v vs %+v", imported, q)
+				}
+				secondHalf, res := finishOver(t, tsB.URL, imported, oracle)
+				gotAsked := append(firstHalf, secondHalf...)
+				if len(gotAsked) != len(twin.asked) {
+					t.Fatalf("asked %d questions across migration, twin asked %d (%v vs %v)",
+						len(gotAsked), len(twin.asked), gotAsked, twin.asked)
+				}
+				for i := range gotAsked {
+					if gotAsked[i] != twin.asked[i] {
+						t.Fatalf("question %d diverged after migration: %q vs twin %q", i, gotAsked[i], twin.asked[i])
+					}
+				}
+				if res.Target != target || res.Target != twin.res.Target ||
+					res.Questions != twin.res.Questions || res.Backtracks != twin.res.Backtracks {
+					t.Errorf("migrated result %+v, twin %+v", res, twin.res)
+				}
+			}
+		})
+	}
+}
+
+// resolved pairs a finished session's asked sequence with its result.
+type resolved struct {
+	asked []string
+	res   ResultResponse
+}
+
+// resolveAsked runs a scripted client to completion, recording every asked
+// entity.
+func resolveAsked(t *testing.T, baseURL string, create CreateSessionRequest, o setdiscovery.Oracle) resolved {
+	t.Helper()
+	var q QuestionResponse
+	if code := do(t, "POST", baseURL+"/v1/collections/paper/sessions", create, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	asked, res := finishOver(t, baseURL, q, o)
+	return resolved{asked: asked, res: res}
+}
+
+// TestBatchStateExportImport migrates a whole batch mid-round between two
+// servers and checks every member resumes where it stopped, with the
+// amortisation counters intact.
+func TestBatchStateExportImport(t *testing.T) {
+	_, tsA, c := newTestServer(t)
+	_, tsB, _ := newTestServer(t)
+	targets := []string{"S1", "S3", "S5", "S7"}
+	oracles := make([]setdiscovery.Oracle, len(targets))
+	for i, name := range targets {
+		o, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = o
+	}
+	var snap BatchQuestionResponse
+	if code := do(t, "POST", tsA.URL+"/v1/collections/paper/batches",
+		CreateBatchRequest{Seeds: []BatchSeed{{}, {}, {}, {}}}, &snap); code != http.StatusCreated {
+		t.Fatalf("create batch: status %d", code)
+	}
+	answerRound := func(baseURL string, snap BatchQuestionResponse) BatchQuestionResponse {
+		var req BatchAnswerRequest
+		for _, m := range snap.Members {
+			if m.Done {
+				continue
+			}
+			req.Answers = append(req.Answers, MemberAnswerRequest{
+				Member: m.Member,
+				Answer: wireAnswer(oracles[m.Member], m.Entity, m.Confirm),
+				Entity: m.Entity, Confirm: m.Confirm,
+			})
+		}
+		var next BatchQuestionResponse
+		if code := do(t, "POST", baseURL+"/v1/batches/"+snap.BatchID+"/answers", req, &next); code != http.StatusOK {
+			t.Fatalf("batch answers: status %d", code)
+		}
+		for _, m := range next.Members {
+			if m.Error != "" {
+				t.Fatalf("member %d rejected: %s", m.Member, m.Error)
+			}
+		}
+		return next
+	}
+	snap = answerRound(tsA.URL, snap) // one round on engine A
+
+	var state StateResponse
+	if code := do(t, "GET", tsA.URL+"/v1/batches/"+snap.BatchID+"/state", nil, &state); code != http.StatusOK {
+		t.Fatalf("get batch state: status %d", code)
+	}
+	if state.Kind != KindBatch || state.BatchID != snap.BatchID {
+		t.Fatalf("batch state mislabelled: %+v", state)
+	}
+	var imported BatchQuestionResponse
+	if code := do(t, "PUT", tsB.URL+"/v1/batches/"+snap.BatchID+"/state",
+		ImportStateRequest{Collection: state.Collection, State: state.State}, &imported); code != http.StatusOK {
+		t.Fatalf("import batch: status %d", code)
+	}
+	for i, m := range imported.Members {
+		if m.Entity != snap.Members[i].Entity || m.Questions != snap.Members[i].Questions {
+			t.Fatalf("member %d resumed elsewhere: %+v vs %+v", i, m, snap.Members[i])
+		}
+	}
+	for rounds := 0; !imported.Done; rounds++ {
+		if rounds > 100 {
+			t.Fatal("batch did not converge")
+		}
+		imported = answerRound(tsB.URL, imported)
+	}
+	var results BatchResultsResponse
+	if code := do(t, "GET", tsB.URL+"/v1/batches/"+snap.BatchID+"/results", nil, &results); code != http.StatusOK {
+		t.Fatalf("batch results: status %d", code)
+	}
+	for i, mr := range results.Members {
+		if mr.Target != targets[i] {
+			t.Errorf("member %d resolved %q, want %q", i, mr.Target, targets[i])
+		}
+	}
+	if results.SelectionsComputed == 0 {
+		t.Error("migrated batch lost its amortisation counters")
+	}
+}
+
+// TestStateEndpointValidation covers the import guard rails: wrong kind,
+// unknown collection, foreign/corrupt state, bad IDs, and kind-mismatched
+// exports.
+func TestStateEndpointValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var q QuestionResponse
+	if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions", nil, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	state := getState(t, ts.URL, q.SessionID)
+
+	var e ErrorResponse
+	// A session's state does not import as a batch, and vice versa.
+	if code := do(t, "PUT", ts.URL+"/v1/batches/"+q.SessionID+"/state",
+		ImportStateRequest{Collection: "paper", State: state.State}, &e); code != http.StatusBadRequest {
+		t.Errorf("session state into batch endpoint: status %d", code)
+	}
+	// Unknown collection name.
+	if code := do(t, "PUT", ts.URL+"/v1/sessions/abc123/state",
+		ImportStateRequest{Collection: "nope", State: state.State}, &e); code != http.StatusNotFound {
+		t.Errorf("unknown collection: status %d", code)
+	}
+	// Corrupt state bytes.
+	if code := do(t, "PUT", ts.URL+"/v1/sessions/abc123/state",
+		ImportStateRequest{Collection: "paper", State: []byte("garbage")}, &e); code != http.StatusBadRequest {
+		t.Errorf("corrupt state: status %d", code)
+	}
+	// Hostile ID.
+	if code := do(t, "PUT", ts.URL+"/v1/sessions/%2e%2e/state",
+		ImportStateRequest{Collection: "paper", State: state.State}, &e); code != http.StatusBadRequest {
+		t.Errorf("hostile id: status %d", code)
+	}
+	// A batch ID on the session state endpoint 404s (kind-matched lookup).
+	var bsnap BatchQuestionResponse
+	if code := do(t, "POST", ts.URL+"/v1/collections/paper/batches",
+		CreateBatchRequest{Seeds: []BatchSeed{{}}}, &bsnap); code != http.StatusCreated {
+		t.Fatalf("create batch: status %d", code)
+	}
+	if code := do(t, "GET", ts.URL+"/v1/sessions/"+bsnap.BatchID+"/state", nil, &e); code != http.StatusNotFound {
+		t.Errorf("batch id on session state endpoint: status %d", code)
+	}
+	// Importing session state under an ID that names a LIVE BATCH must not
+	// destroy the batch: 409, batch untouched.
+	if code := do(t, "PUT", ts.URL+"/v1/sessions/"+bsnap.BatchID+"/state",
+		ImportStateRequest{Collection: "paper", State: state.State}, &e); code != http.StatusConflict {
+		t.Errorf("session import over live batch id: status %d, want 409", code)
+	}
+	var stillThere BatchQuestionResponse
+	if code := do(t, "GET", ts.URL+"/v1/batches/"+bsnap.BatchID+"/questions", nil, &stillThere); code != http.StatusOK {
+		t.Errorf("batch destroyed by cross-kind import: status %d", code)
+	}
+	// Importing under an existing ID replaces it (idempotent retry).
+	var again QuestionResponse
+	if code := do(t, "PUT", ts.URL+"/v1/sessions/"+q.SessionID+"/state",
+		ImportStateRequest{Collection: "paper", State: state.State}, &again); code != http.StatusOK {
+		t.Errorf("re-import over live session: status %d", code)
+	}
+	if again.Entity != q.Entity {
+		t.Errorf("re-import resumed elsewhere: %+v vs %+v", again, q)
+	}
+}
+
+// TestHealthzAndStats pins the probe endpoints the router and load
+// balancers depend on.
+func TestHealthzAndStats(t *testing.T) {
+	srv, ts, _ := newTestServer(t, WithMaxSessions(100), WithTTL(time.Minute))
+	var h HealthzResponse
+	if code := do(t, "GET", ts.URL+"/v1/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" {
+		t.Errorf("healthz: status %d, %+v", code, h)
+	}
+	// The legacy route answers too (plain text "ok\n", pinned byte-for-byte
+	// in the compat suite).
+	if code := do(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusOK {
+		t.Errorf("legacy healthz: status %d", code)
+	}
+
+	var q QuestionResponse
+	if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions", nil, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var bsnap BatchQuestionResponse
+	if code := do(t, "POST", ts.URL+"/v1/collections/paper/batches",
+		CreateBatchRequest{Seeds: []BatchSeed{{}, {}, {}}}, &bsnap); code != http.StatusCreated {
+		t.Fatalf("create batch: status %d", code)
+	}
+
+	var stats StatsResponse
+	if code := do(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Sessions != 1 || stats.Batches != 1 || stats.LiveDiscoveries != 4 {
+		t.Errorf("stats counts = %d sessions, %d batches, %d live; want 1, 1, 4",
+			stats.Sessions, stats.Batches, stats.LiveDiscoveries)
+	}
+	if stats.MaxSessions != 100 || stats.TTLSeconds != 60 || !stats.SlidingTTL {
+		t.Errorf("stats config = %+v", stats)
+	}
+	if len(stats.Collections) != 1 || stats.Collections[0].Name != "paper" ||
+		stats.Collections[0].Sets != 7 || !stats.Collections[0].Tree || stats.Collections[0].Entities == 0 {
+		t.Errorf("stats collections = %+v", stats.Collections)
+	}
+	_ = srv
+}
+
+// TestSlidingVsFixedTTL pins both expiry policies with an injected clock:
+// with sliding TTL (the default) an active session outlives any number of
+// TTL windows; with WithSlidingTTL(false) the deadline set at creation is
+// final no matter how active the session is.
+func TestSlidingVsFixedTTL(t *testing.T) {
+	t.Run("sliding", func(t *testing.T) {
+		srv, ts, _ := newTestServer(t, WithTTL(time.Minute))
+		now := time.Now()
+		srv.store.mu.Lock()
+		srv.store.now = func() time.Time { return now }
+		srv.store.mu.Unlock()
+		var q QuestionResponse
+		if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions", nil, &q); code != http.StatusCreated {
+			t.Fatalf("create: status %d", code)
+		}
+		// A slow-but-active user: one touch every 40s for 10 windows.
+		for i := 0; i < 10; i++ {
+			now = now.Add(40 * time.Second)
+			if code := do(t, "GET", ts.URL+"/v1/sessions/"+q.SessionID+"/question", nil, &q); code != http.StatusOK {
+				t.Fatalf("touch %d: status %d — active session expired mid-discovery", i, code)
+			}
+		}
+	})
+	t.Run("fixed", func(t *testing.T) {
+		srv, ts, _ := newTestServer(t, WithTTL(time.Minute), WithSlidingTTL(false))
+		now := time.Now()
+		srv.store.mu.Lock()
+		srv.store.now = func() time.Time { return now }
+		srv.store.mu.Unlock()
+		var q QuestionResponse
+		if code := do(t, "POST", ts.URL+"/v1/collections/paper/sessions", nil, &q); code != http.StatusCreated {
+			t.Fatalf("create: status %d", code)
+		}
+		now = now.Add(40 * time.Second)
+		if code := do(t, "GET", ts.URL+"/v1/sessions/"+q.SessionID+"/question", nil, &q); code != http.StatusOK {
+			t.Fatalf("touch within TTL: status %d", code)
+		}
+		// 70s after creation: the touch at 40s must NOT have extended the
+		// fixed deadline.
+		now = now.Add(30 * time.Second)
+		var e ErrorResponse
+		if code := do(t, "GET", ts.URL+"/v1/sessions/"+q.SessionID+"/question", nil, &e); code != http.StatusNotFound {
+			t.Errorf("fixed-TTL session alive past its deadline: status %d", code)
+		}
+	})
+}

@@ -11,8 +11,11 @@ import (
 	"setdiscovery"
 )
 
-// DefaultTTL is the idle lifetime of a session: every touch (question
-// fetch, answer, result) slides the deadline forward by the TTL.
+// DefaultTTL is the idle lifetime of a session. With sliding TTL (the
+// default) every touch — question fetch, answer, result, state export —
+// slides the deadline forward by the TTL, so a slow-but-active interactive
+// session never expires mid-discovery; with sliding off the deadline is
+// fixed at creation (WithSlidingTTL).
 const DefaultTTL = 30 * time.Minute
 
 // DefaultMaxSessions bounds the number of live sessions a store accepts, so
@@ -25,6 +28,12 @@ const DefaultMaxSessions = 16384
 // ErrStoreFull is returned by Put when the store holds MaxSessions
 // unexpired sessions.
 var ErrStoreFull = errors.New("server: session store is full")
+
+// ErrKindMismatch is returned by PutWithID when the ID already names a live
+// resource of the other kind: sessions and batches share the ID namespace,
+// and an import must never destroy a batch through the session endpoint (or
+// vice versa).
+var ErrKindMismatch = errors.New("server: id names a live resource of a different kind")
 
 // Stored is one live session — or one live batch of sessions — and its
 // lock. The lock serialises interactive steps: a Session is a single-user
@@ -52,12 +61,13 @@ type Stored struct {
 // count, so the store's budget is the number of live discoveries however
 // they are grouped.
 type Store struct {
-	mu   sync.Mutex
-	m    map[string]*storedEntry
-	ttl  time.Duration
-	max  int
-	used int              // weight sum of unexpired entries
-	now  func() time.Time // injectable clock for expiry tests
+	mu    sync.Mutex
+	m     map[string]*storedEntry
+	ttl   time.Duration
+	max   int
+	used  int              // weight sum of unexpired entries
+	slide bool             // Get slides the deadline (default on)
+	now   func() time.Time // injectable clock for expiry tests
 }
 
 type storedEntry struct {
@@ -84,11 +94,22 @@ func NewStore(ttl time.Duration, maxSessions int) *Store {
 		maxSessions = DefaultMaxSessions
 	}
 	return &Store{
-		m:   make(map[string]*storedEntry),
-		ttl: ttl,
-		max: maxSessions,
-		now: time.Now,
+		m:     make(map[string]*storedEntry),
+		ttl:   ttl,
+		max:   maxSessions,
+		slide: true,
+		now:   time.Now,
 	}
+}
+
+// SetSliding selects between sliding deadlines (true, the default: every Get
+// pushes the expiry TTL into the future, so an active session lives as long
+// as its user keeps answering) and fixed deadlines (false: the expiry is
+// set at Put and never extended — a hard wall-clock budget per discovery).
+func (st *Store) SetSliding(on bool) {
+	st.mu.Lock()
+	st.slide = on
+	st.mu.Unlock()
 }
 
 // newSessionID returns a 128-bit random opaque ID. IDs are capability
@@ -143,8 +164,59 @@ func (st *Store) Get(id string) (*Stored, bool) {
 		delete(st.m, id)
 		return nil, false
 	}
-	e.expires = now.Add(st.ttl)
+	if st.slide {
+		e.expires = now.Add(st.ttl)
+	}
 	return e.s, true
+}
+
+// PutWithID stores a session or batch under a caller-chosen ID — the import
+// half of state migration, where a session must keep its ID as it moves
+// between engines so clients (and the router's affinity table) never see it
+// change. An existing entry under the same ID is replaced, making a
+// retried import idempotent. The capacity check is the same as Put's, net
+// of any replaced entry's weight.
+func (st *Store) PutWithID(id string, s *Stored) error {
+	if id == "" {
+		return errors.New("server: PutWithID needs a non-empty id")
+	}
+	w := s.weight()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	freed := 0
+	if old, ok := st.m[id]; ok && !now.After(old.expires) {
+		if old.s.Kind() != s.Kind() {
+			return ErrKindMismatch
+		}
+		freed = old.weight
+	}
+	if st.used-freed+w > st.max {
+		st.sweepLocked(now)
+		// The sweep may have reaped the replaced entry itself; recompute.
+		freed = 0
+		if old, ok := st.m[id]; ok {
+			freed = old.weight
+		}
+	}
+	if st.used-freed+w > st.max {
+		return ErrStoreFull
+	}
+	if old, ok := st.m[id]; ok {
+		st.used -= old.weight
+	}
+	st.used += w
+	st.m[id] = &storedEntry{s: s, weight: w, expires: now.Add(st.ttl)}
+	return nil
+}
+
+// Used returns the weight sum of unexpired entries: the number of live
+// discoveries counted against the capacity, batch members included.
+func (st *Store) Used() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(st.now())
+	return st.used
 }
 
 // Delete removes the session or batch for id; an absent ID is a no-op.

@@ -76,13 +76,11 @@ type AnswerRequest struct {
 	Confirm string `json:"confirm,omitempty"`
 }
 
-// ResultResponse reports a session's outcome (GET
-// /v1/sessions/{id}/result): final once Done, otherwise a progress
-// snapshot. Error carries a terminal discovery failure (e.g. answers ruled
-// out every candidate with backtracking off or exhausted).
-type ResultResponse struct {
-	SessionID       string   `json:"session_id"`
-	Done            bool     `json:"done"`
+// ResultBody is the outcome shape shared by session results and batch
+// member results — one renderer serves both (the unified resource model).
+// Error carries a terminal discovery failure (e.g. answers ruled out every
+// candidate with backtracking off or exhausted).
+type ResultBody struct {
 	Target          string   `json:"target,omitempty"`
 	Candidates      []string `json:"candidates,omitempty"`
 	Questions       int      `json:"questions"`
@@ -90,6 +88,15 @@ type ResultResponse struct {
 	Backtracks      int      `json:"backtracks"`
 	SelectionTimeUS int64    `json:"selection_time_us"`
 	Error           string   `json:"error,omitempty"`
+}
+
+// ResultResponse reports a session's outcome (GET
+// /v1/sessions/{id}/result): final once Done, otherwise a progress
+// snapshot.
+type ResultResponse struct {
+	SessionID string `json:"session_id"`
+	Done      bool   `json:"done"`
+	ResultBody
 }
 
 // CollectionInfo describes one registered collection (GET /v1/collections).
@@ -175,15 +182,63 @@ type BatchResultsResponse struct {
 
 // MemberResult is one member's ResultResponse-shaped outcome.
 type MemberResult struct {
-	Member          int      `json:"member"`
-	Done            bool     `json:"done"`
-	Target          string   `json:"target,omitempty"`
-	Candidates      []string `json:"candidates,omitempty"`
-	Questions       int      `json:"questions"`
-	Interactions    int      `json:"interactions"`
-	Backtracks      int      `json:"backtracks"`
-	SelectionTimeUS int64    `json:"selection_time_us"`
-	Error           string   `json:"error,omitempty"`
+	Member int  `json:"member"`
+	Done   bool `json:"done"`
+	ResultBody
+}
+
+// StateResponse carries a resource's portable state (GET
+// /v1/sessions/{id}/state, GET /v1/batches/{id}/state): an opaque versioned
+// snapshot of the suspended discovery (base64 in JSON), plus the registry
+// name of the collection it runs over and the resource kind. Feed the same
+// fields back through ImportStateRequest — on this server or any other one
+// holding the collection — to resume.
+type StateResponse struct {
+	SessionID  string `json:"session_id,omitempty"`
+	BatchID    string `json:"batch_id,omitempty"`
+	Collection string `json:"collection"`
+	Kind       string `json:"kind"`
+	State      []byte `json:"state"`
+}
+
+// ImportStateRequest restores a resource from exported state (PUT
+// /v1/sessions/{id}/state, PUT /v1/batches/{id}/state), under the ID in the
+// URL. The import is idempotent: re-PUTting the same state under the same
+// ID replaces the entry, so a migration retried after a lost response
+// converges.
+type ImportStateRequest struct {
+	Collection string `json:"collection"`
+	State      []byte `json:"state"`
+}
+
+// HealthzResponse answers the liveness probe (GET /v1/healthz).
+type HealthzResponse struct {
+	Status string `json:"status"`
+}
+
+// StatsResponse reports serving-load and registry statistics (GET
+// /v1/stats) for routers, load balancers and dashboards probing backends.
+type StatsResponse struct {
+	Status        string `json:"status"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	// Sessions and Batches count live store entries; LiveDiscoveries is the
+	// capacity weight (a batch counts every member), the number compared
+	// against MaxSessions.
+	Sessions        int               `json:"sessions"`
+	Batches         int               `json:"batches"`
+	LiveDiscoveries int               `json:"live_discoveries"`
+	MaxSessions     int               `json:"max_sessions"`
+	TTLSeconds      int64             `json:"ttl_seconds"`
+	SlidingTTL      bool              `json:"sliding_ttl"`
+	Collections     []CollectionStats `json:"collections"`
+}
+
+// CollectionStats describes one registered collection's size.
+type CollectionStats struct {
+	Name     string `json:"name"`
+	Sets     int    `json:"sets"`
+	Entities int    `json:"entities"`
+	Tree     bool   `json:"tree"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -55,6 +55,12 @@ type sessionCore interface {
 type Session struct {
 	c *Collection
 	s sessionCore
+
+	// cfg is the configuration the session was created under; Snapshot
+	// embeds it so RestoreSession can rebuild identical options. Unused (and
+	// meaningless) for tree-walk sessions, which instead carry their tree.
+	cfg  config
+	tree *Tree // non-nil for sessions created by Tree.NewSession
 }
 
 // NewSession starts a resumable discovery session over the collection,
@@ -93,7 +99,7 @@ func (c *Collection) NewSession(initial []string, opts ...Option) (*Session, err
 			return nil, err
 		}
 	}
-	return &Session{c: c, s: s}, nil
+	return &Session{c: c, s: s, cfg: cfg}, nil
 }
 
 // NewSession starts a resumable walk down the prebuilt tree, suspended
@@ -102,7 +108,7 @@ func (c *Collection) NewSession(initial []string, opts ...Option) (*Session, err
 // cheapest kind to serve at scale. A "don't know" answer ends the walk with
 // the sets below the current node as candidates.
 func (t *Tree) NewSession() *Session {
-	return &Session{c: t.c, s: discovery.NewTreeSession(t.c.c, t.t)}
+	return &Session{c: t.c, s: discovery.NewTreeSession(t.c.c, t.t), tree: t}
 }
 
 // Next returns the pending question; done is true once the session has

@@ -1,0 +1,351 @@
+package setdiscovery
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/strategy"
+)
+
+// Portable sessions: Snapshot serializes a suspended Session or Batch into a
+// compact, versioned, self-describing byte string; RestoreSession /
+// RestoreBatch reconstruct it — on this process or another one — so the
+// discovery resumes exactly where it stopped: same remaining question
+// sequence, same counters, same Result as if it had never been suspended
+// (test-pinned across strategies, "don't know" answers and backtracking).
+//
+// A snapshot embeds the configuration the session was created under
+// (strategy, lookahead, halting, backtracking), so the restoring side needs
+// only the collection — it does not need to know how the session was
+// configured. Host-local tuning (WithCacheBound, WithParallelism) is not
+// part of a snapshot; pass it to RestoreSession/RestoreBatch instead.
+// Restore-side options are applied after the embedded configuration and win
+// on conflict.
+//
+// Envelope layout (everything after the fixed header is uvarint/length-
+// prefixed):
+//
+//	"SDSS" | version (1) | kind | collection content fingerprint (16 bytes)
+//	      | configuration (loop and batch kinds) | state payload
+//
+// The collection fingerprint guards against restoring over a different
+// collection, where set indexes and entity IDs would silently mean something
+// else; tree-session snapshots are additionally replay-verified against the
+// tree they are restored onto. Snapshots are not authenticated: treat them
+// like any other client-supplied state and restore only over the collection
+// they were exported from.
+
+// snapshotMagic identifies a setdiscovery snapshot; the trailing byte is the
+// envelope version.
+const snapshotMagic = "SDSS"
+
+// snapshotVersion is the current envelope version. Decoders reject versions
+// they do not know rather than guessing at layouts.
+const snapshotVersion = 1
+
+// SnapshotKind discriminates what a snapshot contains.
+type SnapshotKind byte
+
+const (
+	// SnapshotSession is a strategy-loop Session (Collection.NewSession).
+	SnapshotSession SnapshotKind = 1
+	// SnapshotTreeSession is a prebuilt-tree walk (Tree.NewSession).
+	SnapshotTreeSession SnapshotKind = 2
+	// SnapshotBatch is a Batch of sessions (Collection.NewBatch).
+	SnapshotBatch SnapshotKind = 3
+)
+
+// String names the kind for diagnostics and wire payloads.
+func (k SnapshotKind) String() string {
+	switch k {
+	case SnapshotSession:
+		return "session"
+	case SnapshotTreeSession:
+		return "tree-session"
+	case SnapshotBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("SnapshotKind(%d)", byte(k))
+	}
+}
+
+// ErrBadSnapshot is wrapped by every snapshot decoding failure: foreign or
+// corrupted bytes, an unknown version, or state that does not belong to the
+// restoring collection or tree.
+var ErrBadSnapshot = errors.New("setdiscovery: invalid snapshot")
+
+// Snapshot serializes the session's suspended state. It is non-destructive
+// — the session continues unaffected — so state can be exported at every
+// suspension point (a serving layer does it per round-trip). Restore with
+// Collection.RestoreSession, or Tree.RestoreSession for tree-walk sessions.
+func (s *Session) Snapshot() ([]byte, error) {
+	switch core := s.s.(type) {
+	case *discovery.Session:
+		w := newEnvelope(SnapshotSession, s.c.c.ContentFingerprint())
+		w.config(s.cfg)
+		return append(w.buf, core.EncodeState()...), nil
+	case *discovery.TreeSession:
+		w := newEnvelope(SnapshotTreeSession, s.c.c.ContentFingerprint())
+		return append(w.buf, core.EncodeState()...), nil
+	default:
+		return nil, fmt.Errorf("setdiscovery: unsupported session core %T", s.s)
+	}
+}
+
+// Snapshot serializes the whole batch — every member's suspended state plus
+// the scheduler's amortisation counters. Restore with
+// Collection.RestoreBatch.
+func (b *Batch) Snapshot() ([]byte, error) {
+	w := newEnvelope(SnapshotBatch, b.c.c.ContentFingerprint())
+	w.config(b.cfg)
+	return append(w.buf, b.b.EncodeState()...), nil
+}
+
+// RestoreSession reconstructs a session from Snapshot output, bound to this
+// collection — which must be the one the snapshot was exported from (guarded
+// by a content fingerprint). opts are applied on top of the snapshot's
+// embedded configuration; use them for host-local tuning such as
+// WithCacheBound. Tree-session snapshots must be restored with
+// Tree.RestoreSession instead, batches with RestoreBatch.
+func (c *Collection) RestoreSession(data []byte, opts ...Option) (*Session, error) {
+	cfg, payload, err := c.openEnvelope(data, SnapshotSession, opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.factory(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	s, err := discovery.DecodeSession(c.c, discoveryOptions(cfg, f.New()), payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return &Session{c: c, s: s, cfg: cfg}, nil
+}
+
+// RestoreSession reconstructs a tree-walk session from Snapshot output over
+// this tree. The snapshot's path is replayed and verified question by
+// question, so state exported from a structurally different tree (or a
+// different collection) is rejected rather than silently walking to a wrong
+// leaf.
+func (t *Tree) RestoreSession(data []byte) (*Session, error) {
+	_, payload, err := t.c.openEnvelope(data, SnapshotTreeSession, nil)
+	if err != nil {
+		return nil, err
+	}
+	s, err := discovery.DecodeTreeSession(t.c.c, t.t, payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return &Session{c: t.c, s: s, tree: t}, nil
+}
+
+// RestoreBatch reconstructs a batch from Batch.Snapshot output, bound to
+// this collection. Members resume against a fresh shared scheduler and keep
+// amortising exactly as before the suspension.
+func (c *Collection) RestoreBatch(data []byte, opts ...Option) (*Batch, error) {
+	cfg, payload, err := c.openEnvelope(data, SnapshotBatch, opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.factory(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	b, err := discovery.DecodeBatch(c.c, f, discoveryOptions(cfg, nil), payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return &Batch{c: c, b: b, cfg: cfg}, nil
+}
+
+// SnapshotInfo describes a snapshot without restoring it — what kind of
+// resource it holds — so a serving layer can route the bytes to the right
+// restore call.
+type SnapshotInfo struct {
+	Kind SnapshotKind
+}
+
+// ReadSnapshotInfo peeks at a snapshot's envelope header.
+func ReadSnapshotInfo(data []byte) (SnapshotInfo, error) {
+	kind, _, _, err := parseHeader(data)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Kind: kind}, nil
+}
+
+// discoveryOptions maps the behaviour-relevant half of a config to engine
+// options (the other half — strategy selection — travels through the
+// factory; strat stays nil for batches, which mint their own shared
+// instance).
+func discoveryOptions(cfg config, strat strategy.Strategy) discovery.Options {
+	return discovery.Options{
+		Strategy:      strat,
+		MaxQuestions:  cfg.maxQuestions,
+		BatchSize:     cfg.batchSize,
+		Backtrack:     cfg.backtrack,
+		ConfirmTarget: cfg.confirm,
+	}
+}
+
+// envelopeWriter builds the snapshot header + configuration section.
+type envelopeWriter struct {
+	buf []byte
+}
+
+func newEnvelope(kind SnapshotKind, fp dataset.Fingerprint) *envelopeWriter {
+	w := &envelopeWriter{buf: make([]byte, 0, 64)}
+	w.buf = append(w.buf, snapshotMagic...)
+	w.buf = append(w.buf, snapshotVersion, byte(kind))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, fp.Hi)
+	w.buf = binary.BigEndian.AppendUint64(w.buf, fp.Lo)
+	return w
+}
+
+// config appends the behaviour-relevant configuration: everything that
+// decides which questions get asked or when the session halts. Host-local
+// tuning (cache bound, build parallelism) is deliberately absent.
+func (w *envelopeWriter) config(cfg config) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(cfg.strategyName)))
+	w.buf = append(w.buf, cfg.strategyName...)
+	var metric byte
+	if cfg.metric == Height {
+		metric = 1
+	}
+	w.buf = append(w.buf, metric)
+	for _, v := range []int{cfg.k, cfg.q, cfg.maxQuestions, cfg.batchSize} {
+		w.buf = binary.AppendUvarint(w.buf, uint64(v))
+	}
+	var flags byte
+	if cfg.backtrack {
+		flags |= 1
+	}
+	if cfg.confirm {
+		flags |= 2
+	}
+	w.buf = append(w.buf, flags)
+}
+
+func badSnapshot(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+}
+
+// parseHeader validates magic/version and returns the kind, fingerprint and
+// the bytes after the fixed header.
+func parseHeader(data []byte) (SnapshotKind, dataset.Fingerprint, []byte, error) {
+	const headerLen = len(snapshotMagic) + 2 + 16
+	if len(data) < headerLen {
+		return 0, dataset.Fingerprint{}, nil, badSnapshot("truncated header")
+	}
+	if string(data[:4]) != snapshotMagic {
+		return 0, dataset.Fingerprint{}, nil, badSnapshot("bad magic %q", data[:4])
+	}
+	if data[4] != snapshotVersion {
+		return 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot version %d", data[4])
+	}
+	kind := SnapshotKind(data[5])
+	if kind != SnapshotSession && kind != SnapshotTreeSession && kind != SnapshotBatch {
+		return 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot kind %d", data[5])
+	}
+	fp := dataset.Fingerprint{
+		Hi: binary.BigEndian.Uint64(data[6:14]),
+		Lo: binary.BigEndian.Uint64(data[14:22]),
+	}
+	return kind, fp, data[headerLen:], nil
+}
+
+// openEnvelope parses and validates the header against this collection and
+// the expected kind, decodes the embedded configuration (loop and batch
+// kinds) and applies the caller's restore-side options on top. It returns
+// the final configuration and the state payload.
+func (c *Collection) openEnvelope(data []byte, want SnapshotKind, opts []Option) (config, []byte, error) {
+	cfg := defaultConfig()
+	kind, fp, rest, err := parseHeader(data)
+	if err != nil {
+		return cfg, nil, err
+	}
+	if kind != want {
+		hint := ""
+		switch kind {
+		case SnapshotTreeSession:
+			hint = " (restore it with Tree.RestoreSession)"
+		case SnapshotSession:
+			hint = " (restore it with Collection.RestoreSession)"
+		case SnapshotBatch:
+			hint = " (restore it with Collection.RestoreBatch)"
+		}
+		return cfg, nil, badSnapshot("snapshot holds a %s, not a %s%s", kind, want, hint)
+	}
+	if got := c.c.ContentFingerprint(); got != fp {
+		return cfg, nil, badSnapshot("snapshot was exported from a different collection")
+	}
+	if kind != SnapshotTreeSession {
+		if rest, err = readConfig(&cfg, rest); err != nil {
+			return cfg, nil, err
+		}
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg, rest, nil
+}
+
+// readConfig decodes the configuration section into cfg, returning the
+// remaining payload.
+func readConfig(cfg *config, data []byte) ([]byte, error) {
+	nameLen, n := binary.Uvarint(data)
+	if n <= 0 || nameLen > uint64(len(data)-n) {
+		return nil, badSnapshot("truncated configuration")
+	}
+	data = data[n:]
+	cfg.strategyName = string(data[:nameLen])
+	data = data[nameLen:]
+	if len(data) == 0 {
+		return nil, badSnapshot("truncated configuration")
+	}
+	switch data[0] {
+	case 0:
+		cfg.metric = AverageDepth
+	case 1:
+		cfg.metric = Height
+	default:
+		return nil, badSnapshot("unknown metric %d", data[0])
+	}
+	data = data[1:]
+	// Snapshot input is untrusted: parameters feed straight into strategy
+	// construction (which rejects k < 1 by panicking — a programmer error on
+	// the normal path) and into lookahead whose cost grows with k, so both
+	// floor and ceiling are enforced here.
+	for _, f := range []struct {
+		dst      *int
+		min, max int
+	}{
+		{&cfg.k, 1, 64},
+		{&cfg.q, 1, 1 << 20},
+		{&cfg.maxQuestions, 0, 1 << 20},
+		{&cfg.batchSize, 0, 1 << 20},
+	} {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, badSnapshot("truncated configuration")
+		}
+		if v < uint64(f.min) || v > uint64(f.max) {
+			return nil, badSnapshot("configuration value %d out of range [%d, %d]", v, f.min, f.max)
+		}
+		*f.dst = int(v)
+		data = data[n:]
+	}
+	if len(data) == 0 {
+		return nil, badSnapshot("truncated configuration")
+	}
+	if data[0] > 3 {
+		return nil, badSnapshot("unknown configuration flags %#x", data[0])
+	}
+	cfg.backtrack = data[0]&1 != 0
+	cfg.confirm = data[0]&2 != 0
+	return data[1:], nil
+}
