@@ -363,6 +363,75 @@ func BenchmarkBatchDiscovery(b *testing.B) {
 	})
 }
 
+// BenchmarkSharedSelection measures the collection-wide selection memo: 64
+// *solo* sessions (no batch scheduler) driven one after another, shared
+// versus unshared. With identical targets every session after the first
+// walks a fully memoised question path, so selections computed per session
+// collapse toward zero ("selcomp/sess"); divergent targets share only the
+// popular prefix near the root. The -1 variants pin the single-session
+// overhead of routing through the memo (the ≤5% regression budget).
+func BenchmarkSharedSelection(b *testing.B) {
+	c := benchCollection(b)
+	const n = 64
+
+	run := func(b *testing.B, memo *discovery.SelectionMemo, targets []*dataset.Set) int {
+		b.Helper()
+		selections := 0
+		f := strategy.NewKLP(cost.AD, 2)
+		for _, target := range targets {
+			res, err := discovery.Run(c, nil, discovery.TargetOracle{Target: target},
+				discovery.Options{Strategy: f.New(), Memo: memo, MemoAux: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Target != target {
+				b.Fatal("discovery missed")
+			}
+			// The unshared baseline computes one selection per interaction;
+			// shared runs report the memo's own Computed counter instead.
+			selections += res.Interactions
+		}
+		return selections
+	}
+
+	identical := make([]*dataset.Set, n)
+	divergent := make([]*dataset.Set, n)
+	for i := range identical {
+		identical[i] = c.Set(c.Len() - 1)
+		divergent[i] = c.Set(i % c.Len())
+	}
+
+	variants := []struct {
+		name    string
+		shared  bool
+		targets []*dataset.Set
+	}{
+		{"shared-64-identical", true, identical},
+		{"unshared-64-identical", false, identical},
+		{"shared-64-divergent", true, divergent},
+		{"unshared-64-divergent", false, divergent},
+		{"shared-1", true, identical[:1]},
+		{"unshared-1", false, identical[:1]},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sessions := float64(len(v.targets))
+			var selcomp float64
+			for i := 0; i < b.N; i++ {
+				if v.shared {
+					memo := discovery.NewSelectionMemo(discovery.DefaultMemoBound)
+					run(b, memo, v.targets)
+					selcomp = float64(memo.Stats().Computed)
+				} else {
+					selcomp = float64(run(b, nil, v.targets))
+				}
+			}
+			b.ReportMetric(selcomp/sessions, "selcomp/sess")
+		})
+	}
+}
+
 // BenchmarkPartition measures sub-collection splitting via the inverted
 // index (the inner loop of every lookahead step).
 func BenchmarkPartition(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 //	setdiscd -collection sets.txt [-collection name=other.txt ...]
 //	         [-addr :8080] [-ttl 30m] [-sliding-ttl] [-max-sessions 16384]
-//	         [-cache-bound n] [-max-batch-members 1024]
+//	         [-cache-bound n] [-cache-persist dir] [-max-batch-members 1024]
 //	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
 //
 // Usage (router mode — the sharding tier):
@@ -27,6 +27,11 @@
 // live-migrates sessions (snapshot export/import on the state endpoints)
 // when a backend is drained (POST /v1/router/backends/{name}/drain) or a
 // new one joins. The backends should register the same collections.
+//
+// With -cache-persist the engine writes each collection's hottest
+// selection-cache shard to the named directory on graceful shutdown and
+// reloads it at startup, so a restarted daemon serves warm from its first
+// session instead of re-paying the cold-start selection cost.
 //
 // Example session against the paper's running example:
 //
@@ -92,6 +97,7 @@ func main() {
 		metricName   = flag.String("metric", "ad", "cost metric for -prebuild trees: ad or h")
 		parallel     = flag.Int("parallel", 0, "tree construction workers (0 = GOMAXPROCS)")
 		cacheBound   = flag.Int("cache-bound", 1<<20, "max entries per lookahead cache (clock eviction; 0 = unbounded)")
+		cachePersist = flag.String("cache-persist", "", "directory for persisted selection-cache shards (written on shutdown, loaded at startup)")
 	)
 	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
 	flag.Var(&routes, "route", "run as a router over this backend engine, as name=url (repeatable; excludes -collection)")
@@ -124,6 +130,9 @@ func main() {
 		// daemon's memory stays flat no matter how many distinct
 		// sub-collections its users explore; evictions only recompute.
 		srvOpts = append(srvOpts, server.WithSessionOptions(setdiscovery.WithCacheBound(*cacheBound)))
+	}
+	if *cachePersist != "" {
+		srvOpts = append(srvOpts, server.WithCachePersist(*cachePersist))
 	}
 	srv := server.New(srvOpts...)
 
@@ -168,6 +177,11 @@ func main() {
 
 	logger.Printf("serving on %s (session ttl %v, max %d sessions)", *addr, *ttl, *maxSessions)
 	serve(logger, *addr, srv.Handler())
+	// Graceful shutdown: flush the hot selection-cache shards so the next
+	// start serves warm (no-op without -cache-persist).
+	if err := srv.PersistCaches(); err != nil {
+		logger.Printf("persisting caches: %v", err)
+	}
 }
 
 // runRouter starts the daemon in router mode: a sharding front over the

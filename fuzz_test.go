@@ -2,6 +2,7 @@ package setdiscovery
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -104,7 +105,19 @@ func FuzzRestoreSnapshot(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	// snap above is a version-2 envelope (shared selection is on by default,
+	// so the session carries a memo delta); seed the delta-less version-1
+	// envelope too so the fuzzer mutates both layouts.
+	plain, err := c.NewSession([]string{"b"}, WithSharedSelection(false))
+	if err != nil {
+		f.Fatal(err)
+	}
+	plainSnap, err := plain.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(snap)
+	f.Add(plainSnap)
 	f.Add(batchSnap)
 	f.Add(treeSnap)
 	f.Add([]byte("SDSS"))
@@ -125,4 +138,62 @@ func FuzzRestoreSnapshot(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzSelectionCacheShard fuzzes the warm-shard decoder behind
+// ImportSelectionCache (shards travel through /v1/cache/shard and the
+// -cache-persist files): no panics, malformed input and foreign fingerprints
+// are rejected with ErrBadSnapshot, and anything accepted survives an
+// export/import round trip — the decoder and encoder stay a closed pair.
+func FuzzSelectionCacheShard(f *testing.F) {
+	seedC := fuzzCollection(f)
+	for _, name := range seedC.Names() {
+		o, err := seedC.TargetOracle(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := seedC.Discover(nil, o); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var warm bytes.Buffer
+	if err := seedC.ExportSelectionCache(&warm, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(warm.Bytes())
+	f.Add(warm.Bytes()[:len(warm.Bytes())/2])
+	f.Add([]byte("SDCS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		c := fuzzShardCollection(t)
+		n, err := c.ImportSelectionCache(bytes.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("rejection not wrapped in ErrBadSnapshot: %v", err)
+			}
+			return
+		}
+		if got := c.SelectionCacheStats().Entries; got != n {
+			t.Fatalf("import reported %d entries, memo holds %d", n, got)
+		}
+		var out bytes.Buffer
+		if err := c.ExportSelectionCache(&out, 0); err != nil {
+			t.Fatalf("re-exporting accepted shard: %v", err)
+		}
+		twin := fuzzShardCollection(t)
+		if m, err := twin.ImportSelectionCache(bytes.NewReader(out.Bytes())); err != nil || m != n {
+			t.Fatalf("re-export round trip: imported %d of %d, err %v", m, n, err)
+		}
+	})
+}
+
+// fuzzShardCollection builds a fresh paper collection inside a fuzz
+// iteration (each import must start from an empty memo).
+func fuzzShardCollection(t *testing.T) *Collection {
+	t.Helper()
+	c, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }

@@ -63,14 +63,15 @@ type clockSlot[V any] struct {
 // unbounded (m non-nil, the original map) or bounded (slots/idx non-nil, a
 // fixed-capacity clock ring with second-chance eviction).
 type shardFields[V any] struct {
-	mu     sync.RWMutex
-	m      map[Key]V      // unbounded mode
-	slots  []clockSlot[V] // bounded mode: ring storage, grows on demand to bcap
-	idx    map[Key]int32  // bounded mode: key -> slot index
-	bcap   int32          // bounded mode: max slots (fixed at construction)
-	hand   int32          // bounded mode: clock hand
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu        sync.RWMutex
+	m         map[Key]V      // unbounded mode
+	slots     []clockSlot[V] // bounded mode: ring storage, grows on demand to bcap
+	idx       map[Key]int32  // bounded mode: key -> slot index
+	bcap      int32          // bounded mode: max slots (fixed at construction)
+	hand      int32          // bounded mode: clock hand
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // shard pads shardFields up to the next whole multiple of the cache line so
@@ -214,6 +215,7 @@ func (c *Cache[V]) Put(k Key, v V) {
 		s.hand = (s.hand + 1) % int32(len(s.slots))
 	}
 	i = s.hand
+	s.evictions.Add(1)
 	delete(s.idx, s.slots[i].key)
 	s.hand = (s.hand + 1) % int32(len(s.slots))
 	s.slots[i].key = k
@@ -255,14 +257,87 @@ func (c *Cache[V]) Reset() {
 		s.mu.Unlock()
 		s.hits.Store(0)
 		s.misses.Store(0)
+		s.evictions.Store(0)
 	}
+}
+
+// Peek returns the entry for k without touching the hit/miss counters or the
+// entry's second-chance bit. Use it for read-only inspection (exports,
+// snapshot deltas) where a lookup must not perturb eviction or statistics.
+func (c *Cache[V]) Peek(k Key) (V, bool) {
+	s := c.shardFor(k)
+	var v V
+	var ok bool
+	s.mu.RLock()
+	if s.m != nil {
+		v, ok = s.m[k]
+	} else if i, found := s.idx[k]; found {
+		v, ok = s.slots[i].val, true
+	}
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Entry is one key/value pair returned by Export.
+type Entry[V any] struct {
+	Key Key
+	Val V
+}
+
+// Export returns up to max entries, for warming another cache (a freshly
+// added engine, a restarted process). On a bounded cache entries whose
+// second-chance bit is set — the recently used, "hot" part of the ring — are
+// returned first, so a truncated export keeps the entries most worth
+// shipping; an unbounded cache exports in map order. Export does not perturb
+// the counters or the reference bits. Under concurrent mutation the export is
+// a consistent-per-shard sample, which is all warming needs.
+func (c *Cache[V]) Export(max int) []Entry[V] {
+	if max <= 0 {
+		return nil
+	}
+	var hot, cold []Entry[V]
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		if s.m != nil {
+			for k, v := range s.m {
+				if len(hot) >= max {
+					break
+				}
+				hot = append(hot, Entry[V]{k, v})
+			}
+		} else {
+			for j := range s.slots {
+				sl := &s.slots[j]
+				if atomic.LoadUint32(&sl.ref) != 0 {
+					if len(hot) < max {
+						hot = append(hot, Entry[V]{sl.key, sl.val})
+					}
+				} else if len(cold) < max {
+					cold = append(cold, Entry[V]{sl.key, sl.val})
+				}
+			}
+		}
+		s.mu.RUnlock()
+		if len(hot) >= max {
+			break
+		}
+	}
+	if n := max - len(hot); n > 0 {
+		if n > len(cold) {
+			n = len(cold)
+		}
+		hot = append(hot, cold[:n]...)
+	}
+	return hot
 }
 
 // Stats is a point-in-time aggregate of cache effectiveness.
 type Stats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits      int64
+	Misses    int64
+	Evictions int64 // entries displaced by the clock sweep (bounded mode)
+	Entries   int
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -283,6 +358,7 @@ func (c *Cache[V]) Stats() Stats {
 		s := &c.shards[i]
 		st.Hits += s.hits.Load()
 		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
 		s.mu.RLock()
 		if s.m != nil {
 			st.Entries += len(s.m)

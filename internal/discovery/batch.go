@@ -63,6 +63,13 @@ var soloScheduler = &scheduler{}
 // value: it must stay read-only, so only batch schedulers count stats.)
 func (d *scheduler) selectInteraction(s *Session) ([]dataset.Entity, bool) {
 	if !d.shared {
+		// Solo path: go through the collection-wide memo when the session
+		// has one and no "don't know" exclusions (exclusions make the result
+		// depend on more than the candidate fingerprint — the same rule as
+		// the batch memo below).
+		if m := s.opts.Memo; m != nil && len(s.excluded) == 0 {
+			return m.selectShared(s)
+		}
 		return selectBatch(s.cs, s.opts, s.excluded, s.res, s.scratch)
 	}
 	if len(s.excluded) > 0 {

@@ -168,6 +168,18 @@ type Options struct {
 	// recovery). Requires Backtrack for recovery to proceed.
 	ConfirmTarget bool
 
+	// Memo, when non-nil, routes the solo session's selections through a
+	// collection-wide SelectionMemo so concurrent and successive sessions at
+	// the same candidate-set state share one strategy computation. MemoAux
+	// must hash every option that changes what selectBatch returns (strategy
+	// identity and parameters, batch size) — two sessions share an entry only
+	// when their keys agree on it. Runtime wiring, not behaviour: selections
+	// are byte-identical with or without a memo, and the memo is not part of
+	// the encoded session state. Batch members ignore it (a Batch has its own
+	// round memo, whose stats are pinned per batch).
+	Memo    *SelectionMemo
+	MemoAux uint64
+
 	// noScratch disables the session's subset recycling (tests only: the
 	// pooled-vs-unpooled equivalence suite uses it to drive the original
 	// allocating path as the reference).

@@ -1,0 +1,253 @@
+package discovery
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"setdiscovery/internal/cost"
+	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/strategy"
+	"setdiscovery/internal/synth"
+	"setdiscovery/internal/testutil"
+)
+
+// memoTestCollection is big enough that its sessions touch well over the
+// small memo bound used below, so the clock sweep actually evicts.
+func memoTestCollection(t *testing.T) *dataset.Collection {
+	t.Helper()
+	c, err := synth.Generate(synth.Params{N: 60, SizeMin: 8, SizeMax: 14, Alpha: 0.8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSharedSelectionConcurrentEviction hammers one small-bound memo with
+// concurrent solo sessions (plus a batch for mixed load) well past its entry
+// cap: every session must still ask exactly the questions an unshared
+// reference asks — an evicted entry is recomputed, never wrong — the store
+// must stay at its bound, and no session may leak pooled subsets. Run with
+// -race, this is also the memo's data-race proof.
+func TestSharedSelectionConcurrentEviction(t *testing.T) {
+	c := memoTestCollection(t)
+	f := strategy.NewKLP(cost.AD, 2)
+
+	// Unshared reference sequences, one per target.
+	want := make([][]Question, c.Len())
+	for i := 0; i < c.Len(); i++ {
+		res, err := Run(c, nil, TargetOracle{Target: c.Set(i)}, Options{Strategy: f.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Asked
+	}
+
+	const bound = 64
+	const workers = 6
+	memo := NewSelectionMemo(bound)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for i := 0; i < c.Len(); i++ {
+				target := c.Set((i + offset) % c.Len())
+				s, err := NewSession(c, nil, Options{Strategy: f.New(), Memo: memo, MemoAux: 1})
+				if err != nil {
+					errc <- err
+					return
+				}
+				oracle := TargetOracle{Target: target}
+				for !s.Done() {
+					e, done := s.Next()
+					if done {
+						break
+					}
+					if err := s.Answer(oracle.Answer(e)); err != nil {
+						errc <- err
+						return
+					}
+				}
+				res, err := s.Result()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !sameQuestions(res.Asked, want[target.Index]) {
+					t.Errorf("target %s: shared question sequence diverged:\nshared:   %v\nunshared: %v",
+						target.Name, res.Asked, want[target.Index])
+					return
+				}
+				// The final candidate set escapes into the result; every
+				// intermediate pooled subset must be back.
+				if out := s.scratch.Pool().Stats().Outstanding(); out > 1 {
+					t.Errorf("target %s: %d pooled subsets outstanding, want ≤ 1", target.Name, out)
+					return
+				}
+			}
+		}(w * 7)
+	}
+	// Mixed load: a batch (which never touches the collection memo) runs over
+	// the same collection concurrently with the memo-backed solo sessions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const n = 8
+		b, err := NewBatch(c, make([][]dataset.Entity, n), f, Options{})
+		if err != nil {
+			errc <- err
+			return
+		}
+		oracles := make([]Oracle, n)
+		for i := range oracles {
+			oracles[i] = TargetOracle{Target: c.Set(i)}
+		}
+		driveBatch(t, b, oracles)
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if n := memo.Len(); n > bound {
+		t.Fatalf("memo holds %d entries, bound is %d", n, bound)
+	}
+	st := memo.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions — the hammer never exceeded the bound (stats %+v)", st)
+	}
+	if st.Hits == 0 || st.Computed == 0 {
+		t.Fatalf("degenerate hammer: stats %+v", st)
+	}
+}
+
+// TestMemoShardRoundTrip pins the shard codec: export a warmed memo, import
+// it into an empty one, and the importer must serve the same entries.
+func TestMemoShardRoundTrip(t *testing.T) {
+	c := testutil.PaperCollection()
+	f := strategy.NewKLP(cost.AD, 2)
+	memo := NewSelectionMemo(0)
+	for i := 0; i < c.Len(); i++ {
+		if _, err := Run(c, nil, TargetOracle{Target: c.Set(i)},
+			Options{Strategy: f.New(), Memo: memo, MemoAux: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if memo.Len() == 0 {
+		t.Fatal("warm-up produced no memo entries")
+	}
+
+	shard := EncodeMemoShard(c, memo, 0)
+	cold := NewSelectionMemo(0)
+	n, err := DecodeMemoShard(c, cold, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != memo.Len() || cold.Len() != memo.Len() {
+		t.Fatalf("imported %d entries into %d, want %d", n, cold.Len(), memo.Len())
+	}
+	// A session over the warmed importer asks the reference questions and
+	// computes nothing new on the popular path.
+	target := c.Set(c.Len() - 1)
+	ref, err := Run(c, nil, TargetOracle{Target: target}, Options{Strategy: f.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, nil, TargetOracle{Target: target},
+		Options{Strategy: f.New(), Memo: cold, MemoAux: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameQuestions(res.Asked, ref.Asked) {
+		t.Fatalf("warmed question sequence diverged:\nwarmed:    %v\nreference: %v", res.Asked, ref.Asked)
+	}
+	if st := cold.Stats(); st.Computed != 0 {
+		t.Fatalf("warmed memo computed %d selections, want 0", st.Computed)
+	}
+
+	// Bounded export: max=1 keeps the shard decodeable and within its cap.
+	one := EncodeMemoShard(c, memo, 1)
+	coldOne := NewSelectionMemo(0)
+	if n, err := DecodeMemoShard(c, coldOne, one); err != nil || n != 1 {
+		t.Fatalf("max=1 export: imported %d, err %v", n, err)
+	}
+}
+
+// TestMemoShardRejectsForeignAndCorrupt pins the decoder's trust boundary.
+func TestMemoShardRejectsForeignAndCorrupt(t *testing.T) {
+	c := testutil.PaperCollection()
+	f := strategy.NewKLP(cost.AD, 2)
+	memo := NewSelectionMemo(0)
+	if _, err := Run(c, nil, TargetOracle{Target: c.Set(0)},
+		Options{Strategy: f.New(), Memo: memo, MemoAux: 1}); err != nil {
+		t.Fatal(err)
+	}
+	shard := EncodeMemoShard(c, memo, 0)
+
+	other, err := synth.Generate(synth.Params{N: 20, SizeMin: 4, SizeMax: 8, Alpha: 0.8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMemoShard(other, NewSelectionMemo(0), shard); err == nil {
+		t.Fatal("shard from a different collection accepted")
+	}
+	if _, err := DecodeMemoShard(c, NewSelectionMemo(0), shard[:len(shard)-1]); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if _, err := DecodeMemoShard(c, NewSelectionMemo(0), append(bytes.Clone(shard), 0)); err == nil {
+		t.Fatal("shard with trailing bytes accepted")
+	}
+	bad := bytes.Clone(shard)
+	bad[0] = 'X'
+	if _, err := DecodeMemoShard(c, NewSelectionMemo(0), bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = bytes.Clone(shard)
+	bad[4] = 99
+	if _, err := DecodeMemoShard(c, NewSelectionMemo(0), bad); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestMemoDeltaRoundTrip pins the snapshot memo-delta section: a session's
+// visited entries travel, and an empty trail encodes as a zero count.
+func TestMemoDeltaRoundTrip(t *testing.T) {
+	c := testutil.PaperCollection()
+	f := strategy.NewKLP(cost.AD, 2)
+	memo := NewSelectionMemo(0)
+	s, err := NewSession(c, nil, Options{Strategy: f.New(), Memo: memo, MemoAux: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := TargetOracle{Target: c.Set(c.Len() - 1)}
+	driveSolo(t, s, oracle)
+
+	delta, n := s.AppendMemoDelta(nil)
+	if n == 0 {
+		t.Fatal("completed session wrote an empty memo delta")
+	}
+	cold := NewSelectionMemo(0)
+	imported, err := DecodeMemoDelta(c, cold, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != n {
+		t.Fatalf("imported %d entries, delta wrote %d", imported, n)
+	}
+	if _, err := DecodeMemoDelta(c, NewSelectionMemo(0), append(bytes.Clone(delta), 7)); err == nil {
+		t.Fatal("delta with trailing bytes accepted")
+	}
+
+	// A memo-less session writes the empty (zero-count) section.
+	plain, err := NewSession(c, nil, Options{Strategy: f.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, n := plain.AppendMemoDelta(nil)
+	if n != 0 || len(buf) != 1 {
+		t.Fatalf("memo-less delta: %d entries in %d bytes, want 0 in 1", n, len(buf))
+	}
+}

@@ -158,6 +158,12 @@ func (rt *Router) sweepOwnersLocked(now time.Time) {
 // Migration failures are logged and leave the session on its old backend;
 // affinity keeps it served there, so a failed rebalance degrades placement,
 // never correctness.
+//
+// The new engine is also warmed: for every collection an established peer
+// serves, the peer's hot selection-cache shard is copied over (GET → PUT
+// /v1/cache/shard), so the first sessions the newcomer serves hit a
+// populated memo instead of paying the cold-start selection cost. Warming
+// is best-effort performance state — failures are logged, never returned.
 func (rt *Router) AddBackend(name, rawURL string) error {
 	if name == "" {
 		return errors.New("router: backend name must be non-empty")
@@ -171,12 +177,111 @@ func (rt *Router) AddBackend(name, rawURL string) error {
 		rt.mu.Unlock()
 		return fmt.Errorf("router: backend %q already registered", name)
 	}
-	rt.backends[name] = &backend{name: name, base: u}
+	nb := &backend{name: name, base: u}
+	rt.backends[name] = nb
 	rt.rebuildRingLocked()
 	moves := rt.misplacedLocked()
+	var peers []*backend
+	for _, b := range rt.backends {
+		if b != nb && !b.draining {
+			peers = append(peers, b)
+		}
+	}
 	rt.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].name < peers[j].name })
 	rt.migrateAll(moves)
+	rt.warmBackend(nb, peers)
 	return nil
+}
+
+// warmBackend copies selection-cache shards from the first responsive peer
+// onto a freshly added engine: list the peer's collections, then for each
+// one pipe GET /v1/cache/shard into PUT /v1/cache/shard on the newcomer. A
+// peer that cannot even list collections is skipped in favour of the next;
+// per-collection failures (e.g. the newcomer does not hold that collection)
+// are logged and skipped. Purely advisory: nothing here affects AddBackend's
+// outcome.
+func (rt *Router) warmBackend(dst *backend, peers []*backend) {
+	for _, src := range peers {
+		cols, err := rt.listCollections(src)
+		if err != nil {
+			rt.logf("router: warming %s: listing collections on %s: %v", dst.name, src.name, err)
+			continue
+		}
+		warmed := 0
+		for _, col := range cols {
+			n, err := rt.copyCacheShard(src, dst, col.Name)
+			if err != nil {
+				rt.logf("router: warming %s: shard %q from %s: %v", dst.name, col.Name, src.name, err)
+				continue
+			}
+			warmed += n
+		}
+		rt.logf("router: warmed %s from %s: %d cache entries across %d collections",
+			dst.name, src.name, warmed, len(cols))
+		return
+	}
+}
+
+// listCollections fetches a backend's collection registry.
+func (rt *Router) listCollections(b *backend) ([]server.CollectionInfo, error) {
+	resp, err := rt.client.Get(b.base.JoinPath("v1", "collections").String())
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("backend answered %d: %s", resp.StatusCode, trim(body))
+	}
+	var cols []server.CollectionInfo
+	if err := json.Unmarshal(body, &cols); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// copyCacheShard exports one collection's hot selection-cache shard from
+// src and imports it on dst, returning how many entries dst merged.
+func (rt *Router) copyCacheShard(src, dst *backend, collection string) (int, error) {
+	expURL := src.base.JoinPath("v1", "cache", "shard")
+	expURL.RawQuery = url.Values{"collection": {collection}}.Encode()
+	resp, err := rt.client.Get(expURL.String())
+	if err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	shard, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("export: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("export: backend answered %d: %s", resp.StatusCode, trim(shard))
+	}
+	impURL := dst.base.JoinPath("v1", "cache", "shard")
+	impURL.RawQuery = url.Values{"collection": {collection}}.Encode()
+	req, err := http.NewRequest(http.MethodPut, impURL.String(), bytes.NewReader(shard))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	iresp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("import: %w", err)
+	}
+	ibody, _ := io.ReadAll(io.LimitReader(iresp.Body, maxProxyBody))
+	iresp.Body.Close()
+	if iresp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("import: backend answered %d: %s", iresp.StatusCode, trim(ibody))
+	}
+	var ack server.CacheShardImportResponse
+	if err := json.Unmarshal(ibody, &ack); err != nil {
+		return 0, fmt.Errorf("import: %w", err)
+	}
+	return ack.Imported, nil
 }
 
 // Drain marks a backend as accepting no new placements and migrates every
@@ -606,6 +711,13 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 				row.Sessions = stats.Sessions
 				row.Batches = stats.Batches
 				row.LiveDiscoveries = stats.LiveDiscoveries
+				for _, col := range stats.Collections {
+					row.CacheHits += col.Cache.Hits
+					row.CacheMisses += col.Cache.Misses
+					row.CacheEvictions += col.Cache.Evictions
+					row.CacheCoalesced += col.Cache.Coalesced
+					row.CacheEntries += col.Cache.Entries
+				}
 			}
 		}(&resp.Backends[i], b)
 	}
@@ -614,6 +726,11 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Sessions += row.Sessions
 		resp.Batches += row.Batches
 		resp.LiveDiscoveries += row.LiveDiscoveries
+		resp.CacheHits += row.CacheHits
+		resp.CacheMisses += row.CacheMisses
+		resp.CacheEvictions += row.CacheEvictions
+		resp.CacheCoalesced += row.CacheCoalesced
+		resp.CacheEntries += row.CacheEntries
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -703,7 +820,9 @@ func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // RouterStatsResponse is the fleet view served by the router's GET
-// /v1/stats: per-backend liveness and load plus the aggregate.
+// /v1/stats: per-backend liveness and load plus the aggregate. The cache_*
+// fields sum every backend's per-collection selection-cache counters — the
+// fleet-wide effectiveness of the shared-selection fabric.
 type RouterStatsResponse struct {
 	Status          string         `json:"status"`
 	UptimeSeconds   int64          `json:"uptime_seconds"`
@@ -711,10 +830,16 @@ type RouterStatsResponse struct {
 	Batches         int            `json:"batches"`
 	LiveDiscoveries int            `json:"live_discoveries"`
 	TrackedSessions int            `json:"tracked_sessions"`
+	CacheHits       int64          `json:"cache_hits"`
+	CacheMisses     int64          `json:"cache_misses"`
+	CacheEvictions  int64          `json:"cache_evictions"`
+	CacheCoalesced  int64          `json:"cache_coalesced"`
+	CacheEntries    int            `json:"cache_entries"`
 	Backends        []BackendStats `json:"backends"`
 }
 
-// BackendStats is one engine's row in the fleet view.
+// BackendStats is one engine's row in the fleet view; its cache counters
+// are summed over the engine's collections.
 type BackendStats struct {
 	Name            string `json:"name"`
 	URL             string `json:"url"`
@@ -723,6 +848,11 @@ type BackendStats struct {
 	Sessions        int    `json:"sessions"`
 	Batches         int    `json:"batches"`
 	LiveDiscoveries int    `json:"live_discoveries"`
+	CacheHits       int64  `json:"cache_hits"`
+	CacheMisses     int64  `json:"cache_misses"`
+	CacheEvictions  int64  `json:"cache_evictions"`
+	CacheCoalesced  int64  `json:"cache_coalesced"`
+	CacheEntries    int    `json:"cache_entries"`
 }
 
 // DrainResponse reports a drain's outcome (POST

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"setdiscovery"
+)
+
+// warmServer resolves one session per collection set so the engine's
+// selection memo holds the popular prefix states.
+func warmServer(t *testing.T, ts string, c *setdiscovery.Collection) {
+	t.Helper()
+	for _, name := range c.Names() {
+		oracle, err := c.TargetOracle(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := resolve(t, ts, CreateSessionRequest{}, oracle)
+		if res.Target != name {
+			t.Fatalf("warm-up session found %q, want %q", res.Target, name)
+		}
+	}
+}
+
+// getShard fetches a collection's binary cache shard.
+func getShard(t *testing.T, ts, collection string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts + "/v1/cache/shard?collection=" + collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export shard: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("export shard: content type %q", ct)
+	}
+	return body
+}
+
+// putShard imports a binary shard, returning the HTTP status and response.
+func putShard(t *testing.T, ts, collection string, shard []byte) (int, CacheShardImportResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts+"/v1/cache/shard?collection="+collection, bytes.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack CacheShardImportResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, ack
+}
+
+// TestCacheShardRoundTrip pins the warm-shard wire surface: a warmed
+// engine's shard imports into a cold engine serving the same collection
+// content, and the cold engine's stats show the merged entries.
+func TestCacheShardRoundTrip(t *testing.T) {
+	_, warmTS, warmC := newTestServer(t)
+	warmServer(t, warmTS.URL, warmC)
+
+	shard := getShard(t, warmTS.URL, "paper")
+	if len(shard) == 0 {
+		t.Fatal("warmed server exported an empty shard")
+	}
+
+	_, coldTS, _ := newTestServer(t)
+	code, ack := putShard(t, coldTS.URL, "paper", shard)
+	if code != http.StatusOK {
+		t.Fatalf("import shard: status %d", code)
+	}
+	if ack.Collection != "paper" || ack.Imported == 0 {
+		t.Fatalf("import shard: ack %+v", ack)
+	}
+
+	var stats StatsResponse
+	if code := do(t, "GET", coldTS.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if len(stats.Collections) != 1 || stats.Collections[0].Cache.Entries != ack.Imported {
+		t.Fatalf("cold server stats after import: %+v", stats.Collections)
+	}
+
+	// Error surface: missing/unknown collections and corrupt bodies.
+	if resp, err := http.Get(coldTS.URL + "/v1/cache/shard"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("export without collection: status %d", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(coldTS.URL + "/v1/cache/shard?collection=nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("export of unknown collection: status %d", resp.StatusCode)
+		}
+	}
+	if code, _ := putShard(t, coldTS.URL, "paper", []byte("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("import of garbage shard: status %d", code)
+	}
+	if resp, err := http.Get(coldTS.URL + "/v1/cache/shard?collection=paper&max=0"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("export with max=0: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsCacheCounters: serving sessions moves the per-collection cache
+// counters visible in /v1/stats.
+func TestStatsCacheCounters(t *testing.T) {
+	_, ts, c := newTestServer(t)
+	warmServer(t, ts.URL, c)
+	warmServer(t, ts.URL, c) // second pass rides the warm memo
+
+	var stats StatsResponse
+	if code := do(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if len(stats.Collections) != 1 {
+		t.Fatalf("stats collections: %+v", stats.Collections)
+	}
+	cs := stats.Collections[0].Cache
+	if cs.Entries == 0 || cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("cache counters never moved: %+v", cs)
+	}
+}
+
+// TestCachePersistReload pins the restart layer: PersistCaches writes one
+// shard per collection, and a new server registering the same collection
+// under the same directory starts warm.
+func TestCachePersistReload(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, c := newTestServer(t, WithCachePersist(dir))
+	warmServer(t, ts.URL, c)
+	warmed := c.SelectionCacheStats().Entries
+	if warmed == 0 {
+		t.Fatal("warm-up left no cache entries")
+	}
+	if err := srv.PersistCaches(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "paper.sdcs")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("persisted shard missing: %v", err)
+	}
+
+	// A same-content collection registered on a fresh server under the same
+	// persist dir loads the shard at Register time.
+	c2, err := setdiscovery.NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(WithCachePersist(dir))
+	if err := srv2.Register("paper", c2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.SelectionCacheStats().Entries; got != warmed {
+		t.Fatalf("restarted server loaded %d entries, want %d", got, warmed)
+	}
+
+	// A corrupt shard is swallowed (logged), never fatal to Register.
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := setdiscovery.NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3 := New(WithCachePersist(dir))
+	if err := srv3.Register("paper", c3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.SelectionCacheStats().Entries; got != 0 {
+		t.Fatalf("corrupt shard imported %d entries", got)
+	}
+
+	// Without WithCachePersist, PersistCaches is a no-op.
+	srv4 := New()
+	if err := srv4.PersistCaches(); err != nil {
+		t.Fatal(err)
+	}
+}

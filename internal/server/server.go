@@ -13,6 +13,8 @@
 //	GET    /v1/collections                            list collections
 //	GET    /v1/healthz                                liveness probe
 //	GET    /v1/stats                                  load/uptime/collection stats
+//	GET    /v1/cache/shard?collection=NAME            export a warm selection-cache shard
+//	PUT    /v1/cache/shard?collection=NAME            import a selection-cache shard
 //	POST   /v1/collections/{collection}/sessions      create a session
 //	GET    /v1/sessions/{id}/question                 re-fetch the question
 //	POST   /v1/sessions/{id}/answer                   answer, get next question
@@ -49,12 +51,17 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -103,6 +110,17 @@ func WithSessionOptions(opts ...setdiscovery.Option) Option {
 	return func(s *Server) { s.sessionOpts = append(s.sessionOpts, opts...) }
 }
 
+// WithCachePersist stores selection-cache shards under dir: Register loads
+// each collection's persisted shard (when one exists and matches the
+// collection's content fingerprint), and PersistCaches writes the current
+// hottest entries back — so a restarted server resumes with a warm selection
+// memo instead of recomputing the popular prefix states from scratch
+// (setdiscd wires -cache-persist through here). Load failures are logged and
+// ignored: a stale or foreign shard costs a cold start, never correctness.
+func WithCachePersist(dir string) Option {
+	return func(s *Server) { s.persistDir = dir }
+}
+
 // collectionEntry pairs a registered collection with its optional prebuilt
 // tree.
 type collectionEntry struct {
@@ -123,6 +141,7 @@ type Server struct {
 	maxBatchMembers int
 	sliding         bool
 	sessionOpts     []setdiscovery.Option
+	persistDir      string
 	logf            func(format string, args ...any)
 	started         time.Time
 }
@@ -161,7 +180,92 @@ func (s *Server) Register(name string, c *setdiscovery.Collection) error {
 		return fmt.Errorf("server: collection %q already registered", name)
 	}
 	s.collections[name] = &collectionEntry{c: c}
+	s.loadPersistedShard(name, c)
 	return nil
+}
+
+// shardPath names the persisted selection-cache shard file for a collection.
+// The name is path-escaped so arbitrary registered names stay single safe
+// filename components.
+func (s *Server) shardPath(name string) string {
+	return filepath.Join(s.persistDir, url.PathEscape(name)+".sdcs")
+}
+
+// loadPersistedShard warms a freshly registered collection's selection memo
+// from its persisted shard, when cache persistence is configured and a shard
+// exists. Failures are logged and swallowed: the shard is advisory
+// performance state, and a corrupt or foreign one must not block startup.
+func (s *Server) loadPersistedShard(name string, c *setdiscovery.Collection) {
+	if s.persistDir == "" {
+		return
+	}
+	path := s.shardPath(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.logf("server: reading cache shard %s: %v", path, err)
+		}
+		return
+	}
+	n, err := c.ImportSelectionCache(bytes.NewReader(data), s.sessionOpts...)
+	if err != nil {
+		s.logf("server: loading cache shard %s: %v", path, err)
+		return
+	}
+	s.logf("server: collection %q: loaded %d selection-cache entries from %s", name, n, path)
+}
+
+// persistShardEntries caps how many entries one persisted or exported shard
+// carries; the export is hottest-first, so the cap keeps files and transfers
+// small while preserving the entries most worth keeping.
+const persistShardEntries = 1 << 16
+
+// PersistCaches writes every registered collection's selection-cache shard
+// under the WithCachePersist directory (creating it if needed), so the next
+// start of this server — or any server registering the same collections —
+// resumes warm. Call it after the listener has shut down. Without
+// WithCachePersist it is a no-op. The first error is returned; later
+// collections are still attempted.
+func (s *Server) PersistCaches() error {
+	if s.persistDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.persistDir, 0o755); err != nil {
+		return fmt.Errorf("server: creating cache-persist dir: %w", err)
+	}
+	s.mu.RLock()
+	entries := make(map[string]*setdiscovery.Collection, len(s.collections))
+	for name, e := range s.collections {
+		entries[name] = e.c
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for name, c := range entries {
+		var buf bytes.Buffer
+		if err := c.ExportSelectionCache(&buf, persistShardEntries, s.sessionOpts...); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Write-then-rename so a crash mid-write leaves the previous shard
+		// intact rather than a truncated file.
+		path := s.shardPath(name)
+		tmp := path + ".tmp"
+		err := os.WriteFile(tmp, buf.Bytes(), 0o644)
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			s.logf("server: persisting cache shard %s: %v", path, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.logf("server: collection %q: persisted selection-cache shard to %s", name, path)
+	}
+	return firstErr
 }
 
 // RegisterTree attaches a prebuilt decision tree to the named registered
@@ -222,6 +326,8 @@ func (s *Server) routes(mux *http.ServeMux, prefix string) {
 		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
 	}
 	mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	mux.HandleFunc("GET "+prefix+"/cache/shard", s.handleExportCacheShard)
+	mux.HandleFunc("PUT "+prefix+"/cache/shard", s.handleImportCacheShard)
 	mux.HandleFunc("POST "+prefix+"/collections/{collection}/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET "+prefix+"/sessions/{id}/question", s.handleGetQuestion)
 	mux.HandleFunc("POST "+prefix+"/sessions/{id}/answer", s.handleAnswer)
@@ -256,11 +362,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	for name, e := range s.collections {
+		cs := e.c.SelectionCacheStats()
 		resp.Collections = append(resp.Collections, CollectionStats{
 			Name:     name,
 			Sets:     e.c.Len(),
 			Entities: e.c.Internal().DistinctEntities(),
 			Tree:     e.tree != nil,
+			Cache: CacheStats{
+				Hits:      cs.Hits,
+				Misses:    cs.Misses,
+				Evictions: cs.Evictions,
+				Coalesced: cs.Coalesced,
+				Entries:   cs.Entries,
+			},
 		})
 	}
 	s.mu.RUnlock()
@@ -268,6 +382,71 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return resp.Collections[i].Name < resp.Collections[j].Name
 	})
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExportCacheShard serves GET /v1/cache/shard?collection=NAME[&max=N]:
+// a warm selection-cache shard as a binary body (application/octet-stream),
+// hottest entries first. The binary body makes the warm-shard flow a curl
+// pipe: GET from a warm engine, PUT to a cold one. The router uses the same
+// pair to warm a freshly added backend from a healthy peer.
+func (s *Server) handleExportCacheShard(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("collection")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing collection query parameter"))
+		return
+	}
+	e, ok := s.entry(w, name)
+	if !ok {
+		return
+	}
+	max := persistShardEntries
+	if raw := r.URL.Query().Get("max"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid max %q", raw))
+			return
+		}
+		if v < max {
+			max = v
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.c.ExportSelectionCache(&buf, max, s.sessionOpts...); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.logf("server: writing cache shard: %v", err)
+	}
+}
+
+// handleImportCacheShard serves PUT /v1/cache/shard?collection=NAME: merge a
+// binary shard body into the collection's selection memo. Shards from a
+// different collection (content-fingerprint mismatch) or corrupted bodies are
+// rejected; a valid import reports how many entries landed.
+func (s *Server) handleImportCacheShard(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("collection")
+	if name == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing collection query parameter"))
+		return
+	}
+	e, ok := s.entry(w, name)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxStateBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := e.c.ImportSelectionCache(bytes.NewReader(body), s.sessionOpts...)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CacheShardImportResponse{Collection: name, Imported: n})
 }
 
 func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {

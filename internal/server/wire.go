@@ -233,12 +233,33 @@ type StatsResponse struct {
 	Collections     []CollectionStats `json:"collections"`
 }
 
-// CollectionStats describes one registered collection's size.
+// CollectionStats describes one registered collection's size and the
+// effectiveness of its shared selection cache.
 type CollectionStats struct {
-	Name     string `json:"name"`
-	Sets     int    `json:"sets"`
-	Entities int    `json:"entities"`
-	Tree     bool   `json:"tree"`
+	Name     string     `json:"name"`
+	Sets     int        `json:"sets"`
+	Entities int        `json:"entities"`
+	Tree     bool       `json:"tree"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// CacheStats reports a collection's selection-cache fabric counters: how many
+// selections were served from the collection-wide memo (Hits) or waited on a
+// concurrent computation (Coalesced) instead of being computed, and how the
+// bounded store is doing (Entries, Evictions).
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
+	Entries   int   `json:"entries"`
+}
+
+// CacheShardImportResponse acknowledges PUT /v1/cache/shard: how many warm
+// selection-cache entries were merged into the named collection's memo.
+type CacheShardImportResponse struct {
+	Collection string `json:"collection"`
+	Imported   int    `json:"imported"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

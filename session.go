@@ -81,13 +81,15 @@ func (c *Collection) NewSession(initial []string, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
-	s, err := discovery.NewSession(c.c, init, discovery.Options{
+	o := discovery.Options{
 		Strategy:      f.New(),
 		MaxQuestions:  cfg.maxQuestions,
 		BatchSize:     cfg.batchSize,
 		Backtrack:     cfg.backtrack,
 		ConfirmTarget: cfg.confirm,
-	})
+	}
+	c.attachMemo(cfg, &o)
+	s, err := discovery.NewSession(c.c, init, o)
 	if err != nil {
 		return nil, err
 	}

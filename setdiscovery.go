@@ -41,6 +41,7 @@ package setdiscovery
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
@@ -79,6 +80,13 @@ type Collection struct {
 	// the same options shares that factory's fingerprint caches.
 	mu        sync.Mutex
 	factories map[strategyKey]strategy.Factory
+
+	// memo is the collection-wide selection memo shared by every solo
+	// session (and Discover call) over this collection, regardless of
+	// strategy configuration — an options hash in the key keeps differently
+	// configured sessions from sharing entries. Lazily created; the entry
+	// bound is fixed by whichever configuration touches it first.
+	memo *discovery.SelectionMemo
 }
 
 // strategyKey identifies a strategy configuration; options that do not
@@ -121,6 +129,121 @@ func (c *Collection) factory(cfg config) (strategy.Factory, error) {
 	}
 	c.factories[key] = f
 	return f, nil
+}
+
+// selectionMemo returns the collection-wide selection memo, creating it on
+// first use with the given entry bound (≤ 0 selects the default, 1M). The
+// bound is fixed at creation: later callers share the memo whatever bound
+// they ask for, mirroring how a strategy factory's cache bound is fixed by
+// its first configuration.
+func (c *Collection) selectionMemo(bound int) *discovery.SelectionMemo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.memo == nil {
+		c.memo = discovery.NewSelectionMemo(bound)
+	}
+	return c.memo
+}
+
+// memoAux hashes the options that change what a selection returns — strategy
+// identity and parameters plus the interaction batch size — into the
+// auxiliary key word, so sessions share a memo entry exactly when they would
+// compute the same result. Halting and backtracking options are deliberately
+// absent: they decide when selections happen, never what they return.
+func memoAux(cfg config) uint64 {
+	batch := cfg.batchSize
+	if batch < 1 {
+		batch = 1 // 0 and 1 both mean one question per interaction
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d",
+		strings.ToLower(cfg.strategyName), cfg.metric, cfg.k, cfg.q, batch)
+	return h.Sum64()
+}
+
+// attachMemo wires the collection-wide selection memo into engine options
+// when the configuration has shared selection on (the default).
+func (c *Collection) attachMemo(cfg config, o *discovery.Options) {
+	if !cfg.sharedSelection {
+		return
+	}
+	o.Memo = c.selectionMemo(cfg.cacheBound)
+	o.MemoAux = memoAux(cfg)
+}
+
+// SelectionCacheStats reports the collection-wide selection memo's
+// effectiveness: how many selections were served from the memo (Hits) or
+// coalesced onto a concurrent computation versus actually computed, and how
+// the bounded store is doing (Entries, Evictions). Zero before any session
+// ran with shared selection.
+type SelectionCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Coalesced int64
+	Computed  int64
+	Entries   int
+}
+
+// SelectionCacheStats returns the collection's shared-selection counters.
+func (c *Collection) SelectionCacheStats() SelectionCacheStats {
+	c.mu.Lock()
+	m := c.memo
+	c.mu.Unlock()
+	if m == nil {
+		return SelectionCacheStats{}
+	}
+	st := m.Stats()
+	return SelectionCacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Coalesced: st.Coalesced,
+		Computed:  st.Computed,
+		Entries:   st.Entries,
+	}
+}
+
+// ExportSelectionCache writes a warm shard — up to max of the selection
+// memo's entries, recently used first (max ≤ 0 exports everything) — in a
+// versioned binary format guarded by the collection's content fingerprint.
+// Import it with ImportSelectionCache on another instance serving the same
+// collection (the router does this to warm a freshly added engine from a
+// healthy peer) or persist it next to prebuilt trees so a restarted server
+// skips the warm-up cliff. Options are applied only for their cache bound,
+// should the export be what creates the memo.
+func (c *Collection) ExportSelectionCache(w io.Writer, max int, opts ...Option) error {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if max <= 0 {
+		max = int(^uint(0) >> 1)
+	}
+	_, err := w.Write(discovery.EncodeMemoShard(c.c, c.selectionMemo(cfg.cacheBound), max))
+	return err
+}
+
+// ImportSelectionCache merges a shard written by ExportSelectionCache into
+// the collection's selection memo and returns the number of entries
+// imported. The shard must come from a collection with identical content;
+// foreign or corrupted shards are rejected with ErrBadSnapshot. Options are
+// applied only for their cache bound, which matters when the import is what
+// creates the memo (a freshly added engine being warmed before any traffic).
+func (c *Collection) ImportSelectionCache(r io.Reader, opts ...Option) (int, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	n, err := discovery.DecodeMemoShard(c.c, c.selectionMemo(cfg.cacheBound), data)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return n, nil
 }
 
 // NewCollection builds a collection from named element lists. Set names
@@ -192,19 +315,21 @@ func (c *Collection) Internal() *dataset.Collection { return c.c }
 
 // config collects option values.
 type config struct {
-	strategyName string
-	metric       Metric
-	k, q         int
-	maxQuestions int
-	batchSize    int
-	parallelism  int
-	cacheBound   int
-	backtrack    bool
-	confirm      bool
+	strategyName    string
+	metric          Metric
+	k, q            int
+	maxQuestions    int
+	batchSize       int
+	parallelism     int
+	cacheBound      int
+	backtrack       bool
+	confirm         bool
+	sharedSelection bool
 }
 
 func defaultConfig() config {
-	return config{strategyName: "klp", metric: AverageDepth, k: 2, q: 10}
+	return config{strategyName: "klp", metric: AverageDepth, k: 2, q: 10,
+		sharedSelection: true}
 }
 
 // Option configures BuildTree and Discover.
@@ -262,6 +387,21 @@ func WithCacheBound(n int) Option {
 		}
 		c.cacheBound = n
 	}
+}
+
+// WithSharedSelection toggles the collection-wide selection memo (default
+// on): solo sessions and Discover calls over one collection memoise their
+// strategy selections by candidate-set fingerprint, so N sessions parked at
+// the same state — concurrently or over time — pay one lookahead computation
+// total, with concurrent misses coalescing into a single flight. Selections
+// are pure functions of the candidate set and the selection-relevant options,
+// so shared results are byte-identical to unshared ones (test-pinned);
+// sessions with "don't know" answers bypass the memo automatically. The memo
+// is bounded (WithCacheBound, same default as the strategy caches) with clock
+// eviction, so memory stays flat. Turn it off for one-shot workloads that
+// would only pollute the memo, or to A/B the fabric itself.
+func WithSharedSelection(on bool) Option {
+	return func(c *config) { c.sharedSelection = on }
 }
 
 // Tree is a constructed decision tree over a collection. It is immutable
@@ -448,13 +588,15 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 		return nil, err
 	}
 	wrapped := oracleAdapter{c: c.c, o: oracle}
-	res, err := discovery.Run(c.c, init, wrapped, discovery.Options{
+	o := discovery.Options{
 		Strategy:      sel,
 		MaxQuestions:  cfg.maxQuestions,
 		BatchSize:     cfg.batchSize,
 		Backtrack:     cfg.backtrack,
 		ConfirmTarget: cfg.confirm,
-	})
+	}
+	c.attachMemo(cfg, &o)
+	res, err := discovery.Run(c.c, init, wrapped, o)
 	if err != nil {
 		return nil, err
 	}

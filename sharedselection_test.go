@@ -1,0 +1,296 @@
+package setdiscovery
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// unsureFirstOracle answers "don't know" to its first question, then defers
+// to the inner target oracle — forcing the exclusion path, which must bypass
+// the shared memo.
+type unsureFirstOracle struct {
+	inner Oracle
+	first bool
+}
+
+func (o *unsureFirstOracle) Answer(entity string) Answer {
+	if o.first {
+		o.first = false
+		return Unknown
+	}
+	return o.inner.Answer(entity)
+}
+
+// firstLieOracle flips its first membership answer, steering the session to
+// a wrong candidate whose confirmation the true-target Confirmer then
+// rejects — exercising §6 backtracking identically on the shared and
+// unshared runs.
+type firstLieOracle struct {
+	inner Oracle
+	lied  bool
+}
+
+func (o *firstLieOracle) Answer(entity string) Answer {
+	a := o.inner.Answer(entity)
+	if !o.lied {
+		o.lied = true
+		if a == Yes {
+			return No
+		}
+		return Yes
+	}
+	return a
+}
+
+func (o *firstLieOracle) Confirm(setName string) bool {
+	if c, ok := o.inner.(Confirmer); ok {
+		return c.Confirm(setName)
+	}
+	return false
+}
+
+// discoverAsked runs Discover with a recording oracle and returns the asked
+// entity sequence plus the result.
+func discoverAsked(t *testing.T, c *Collection, mkOracle func() Oracle, opts ...Option) ([]string, *Result) {
+	t.Helper()
+	rec := &recordingOracle{inner: mkOracle()}
+	res, err := c.Discover(nil, rec, opts...)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	return rec.asked, res
+}
+
+// TestSharedSelectionMatchesUnshared is the tentpole equivalence pin at the
+// public layer: across strategies, "don't know" answers and backtracking,
+// discovery with the collection-wide selection memo (the default) asks
+// byte-identical question sequences to WithSharedSelection(false) — and a
+// second shared run over the now-warm memo (the pure hit path) stays
+// identical too.
+func TestSharedSelectionMatchesUnshared(t *testing.T) {
+	optsets := [][]Option{
+		nil,
+		{WithStrategy("klple"), WithK(3), WithQ(5)},
+		{WithStrategy("klplve"), WithK(3), WithQ(5)},
+		{WithStrategy("infogain")},
+		{WithStrategy("most-even"), WithBatchSize(3)},
+	}
+	for _, opts := range optsets {
+		shared, err := NewCollection(paperSets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		unshared, err := NewCollection(paperSets())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range shared.Names() {
+			mk := func(c *Collection) func() Oracle {
+				return func() Oracle {
+					o, err := c.TargetOracle(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return o
+				}
+			}
+			off := append(append([]Option(nil), opts...), WithSharedSelection(false))
+			wantAsked, want := discoverAsked(t, unshared, mk(unshared), off...)
+			for run := 0; run < 2; run++ { // run 1 replays against a warm memo
+				gotAsked, got := discoverAsked(t, shared, mk(shared), opts...)
+				if !reflect.DeepEqual(gotAsked, wantAsked) {
+					t.Fatalf("%s run %d: shared asked %v, unshared asked %v", name, run, gotAsked, wantAsked)
+				}
+				if got.Target != want.Target || got.Questions != want.Questions ||
+					got.Interactions != want.Interactions || got.Backtracks != want.Backtracks ||
+					!reflect.DeepEqual(got.Candidates, want.Candidates) {
+					t.Fatalf("%s run %d: shared result %+v, unshared %+v", name, run, got, want)
+				}
+			}
+		}
+		if st := shared.SelectionCacheStats(); st.Hits == 0 || st.Entries == 0 {
+			t.Fatalf("shared collection never hit its memo: %+v", st)
+		}
+		if st := unshared.SelectionCacheStats(); st.Entries != 0 {
+			t.Fatalf("WithSharedSelection(false) populated the memo: %+v", st)
+		}
+	}
+}
+
+// TestSharedSelectionWithUnknownsAndBacktracking covers the paths that must
+// bypass or replay through the memo without changing a single question:
+// exclusions (memo bypass) and §6 confirm-and-recover.
+func TestSharedSelectionWithUnknownsAndBacktracking(t *testing.T) {
+	shared, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshared, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range shared.Names() {
+		inner := func(c *Collection) Oracle {
+			o, err := c.TargetOracle(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}
+		cases := []struct {
+			label string
+			mk    func(c *Collection) func() Oracle
+			opts  []Option
+		}{
+			{"unknown-first", func(c *Collection) func() Oracle {
+				return func() Oracle { return &unsureFirstOracle{inner: inner(c), first: true} }
+			}, nil},
+			{"backtracking", func(c *Collection) func() Oracle {
+				return func() Oracle { return &firstLieOracle{inner: inner(c)} }
+			}, []Option{WithBacktracking()}},
+		}
+		for _, tc := range cases {
+			off := append(append([]Option(nil), tc.opts...), WithSharedSelection(false))
+			wantAsked, want := discoverAsked(t, unshared, tc.mk(unshared), off...)
+			gotAsked, got := discoverAsked(t, shared, tc.mk(shared), tc.opts...)
+			if !reflect.DeepEqual(gotAsked, wantAsked) {
+				t.Fatalf("%s/%s: shared asked %v, unshared asked %v", name, tc.label, gotAsked, wantAsked)
+			}
+			if got.Target != want.Target || got.Backtracks != want.Backtracks {
+				t.Fatalf("%s/%s: shared result %+v, unshared %+v", name, tc.label, got, want)
+			}
+		}
+	}
+}
+
+// TestExportImportSelectionCache pins the warm-shard surface: a warmed
+// collection's shard imports into a same-content twin, which then serves a
+// session with zero computed selections and the reference question sequence.
+func TestExportImportSelectionCache(t *testing.T) {
+	warm, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := warm.Names()[len(warm.Names())-1]
+	mk := func(c *Collection) func() Oracle {
+		return func() Oracle {
+			o, err := c.TargetOracle(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}
+	}
+	wantAsked, _ := discoverAsked(t, warm, mk(warm))
+	var shard bytes.Buffer
+	if err := warm.ExportSelectionCache(&shard, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cold.ImportSelectionCache(bytes.NewReader(shard.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || cold.SelectionCacheStats().Entries != n {
+		t.Fatalf("imported %d entries, stats %+v", n, cold.SelectionCacheStats())
+	}
+	gotAsked, _ := discoverAsked(t, cold, mk(cold))
+	if !reflect.DeepEqual(gotAsked, wantAsked) {
+		t.Fatalf("warmed twin asked %v, want %v", gotAsked, wantAsked)
+	}
+	if st := cold.SelectionCacheStats(); st.Computed != 0 {
+		t.Fatalf("warmed twin computed %d selections, want 0 (stats %+v)", st.Computed, st)
+	}
+
+	// A shard from a different collection is rejected with ErrBadSnapshot.
+	foreign, err := NewCollection(map[string][]string{
+		"X": {"p", "q"}, "Y": {"q", "r"}, "Z": {"p", "r"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foreign.ImportSelectionCache(bytes.NewReader(shard.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("foreign shard: err %v, want ErrBadSnapshot", err)
+	}
+	// So is garbage.
+	if _, err := cold.ImportSelectionCache(strings.NewReader("not a shard")); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("garbage shard: err %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestSnapshotCarriesMemoDelta pins the migration-warming layer: a session
+// snapshot taken under shared selection carries the memo entries along its
+// own path, and restoring it on a cold twin warms the twin's memo — first
+// question identical, served from the imported entries.
+func TestSnapshotCarriesMemoDelta(t *testing.T) {
+	src, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := src.Names()[0]
+	oracle, err := src.TargetOracle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := src.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answer two questions so the trail has entries, then snapshot.
+	for i := 0; i < 2 && !s.Done(); i++ {
+		q, done := s.Next()
+		if done {
+			break
+		}
+		if err := s.Answer(oracle.Answer(q.Entity)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := dst.RestoreSession(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := dst.SelectionCacheStats(); st.Entries == 0 {
+		t.Fatalf("restore imported no memo entries: %+v", st)
+	}
+	// Both sessions finish with identical remaining questions.
+	dstOracle, err := dst.TargetOracle(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcRest := driveSession(t, s, oracle)
+	dstRest := driveSession(t, restored, dstOracle)
+	if !reflect.DeepEqual(srcRest, dstRest) {
+		t.Fatalf("restored session asked %v, original asked %v", dstRest, srcRest)
+	}
+
+	// A snapshot taken under WithSharedSelection(false) has no delta and
+	// still restores — on either configuration.
+	plain, err := src.NewSession(nil, WithSharedSelection(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnap, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreSession(psnap); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,6 +31,20 @@ import (
 //	"SDSS" | version (1) | kind | collection content fingerprint (16 bytes)
 //	      | configuration (loop and batch kinds) | state payload
 //
+// Version 2 adds an optional memo-delta section — the selection-memo entries
+// the session visited along its own discovery path, so a migrated session
+// warms its destination's selection cache (see WithSharedSelection). The
+// state payload becomes length-prefixed to delimit it from the delta:
+//
+//	"SDSS" | version (2) | kind | fingerprint | configuration
+//	      | state length | state payload | memo delta
+//
+// Writers emit version 1 whenever there is no delta to carry, so snapshots
+// without shared-selection state stay byte-identical to earlier releases;
+// decoders accept both versions. The delta is advisory performance state: a
+// restoring side validates and imports it into the collection's memo, but the
+// restored session's behaviour never depends on it.
+//
 // The collection fingerprint guards against restoring over a different
 // collection, where set indexes and entity IDs would silently mean something
 // else; tree-session snapshots are additionally replay-verified against the
@@ -42,9 +56,14 @@ import (
 // envelope version.
 const snapshotMagic = "SDSS"
 
-// snapshotVersion is the current envelope version. Decoders reject versions
-// they do not know rather than guessing at layouts.
-const snapshotVersion = 1
+// snapshotVersion is the base envelope version; snapshotVersionDelta marks an
+// envelope whose state payload is length-prefixed and followed by a
+// selection-memo delta. Decoders reject versions they do not know rather than
+// guessing at layouts.
+const (
+	snapshotVersion      = 1
+	snapshotVersionDelta = 2
+)
 
 // SnapshotKind discriminates what a snapshot contains.
 type SnapshotKind byte
@@ -84,9 +103,21 @@ var ErrBadSnapshot = errors.New("setdiscovery: invalid snapshot")
 func (s *Session) Snapshot() ([]byte, error) {
 	switch core := s.s.(type) {
 	case *discovery.Session:
-		w := newEnvelope(SnapshotSession, s.c.c.ContentFingerprint())
+		// Sessions that visited shared-selection states carry those memo
+		// entries along as a version-2 delta section; others emit the
+		// byte-identical version-1 envelope of earlier releases.
+		delta, n := core.AppendMemoDelta(nil)
+		if n == 0 {
+			w := newEnvelope(SnapshotSession, s.c.c.ContentFingerprint())
+			w.config(s.cfg)
+			return append(w.buf, core.EncodeState()...), nil
+		}
+		w := newEnvelopeVersion(snapshotVersionDelta, SnapshotSession, s.c.c.ContentFingerprint())
 		w.config(s.cfg)
-		return append(w.buf, core.EncodeState()...), nil
+		state := core.EncodeState()
+		w.buf = binary.AppendUvarint(w.buf, uint64(len(state)))
+		w.buf = append(w.buf, state...)
+		return append(w.buf, delta...), nil
 	case *discovery.TreeSession:
 		w := newEnvelope(SnapshotTreeSession, s.c.c.ContentFingerprint())
 		return append(w.buf, core.EncodeState()...), nil
@@ -111,7 +142,7 @@ func (b *Batch) Snapshot() ([]byte, error) {
 // WithCacheBound. Tree-session snapshots must be restored with
 // Tree.RestoreSession instead, batches with RestoreBatch.
 func (c *Collection) RestoreSession(data []byte, opts ...Option) (*Session, error) {
-	cfg, payload, err := c.openEnvelope(data, SnapshotSession, opts)
+	cfg, payload, delta, err := c.openEnvelope(data, SnapshotSession, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,9 +150,16 @@ func (c *Collection) RestoreSession(data []byte, opts ...Option) (*Session, erro
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
-	s, err := discovery.DecodeSession(c.c, discoveryOptions(cfg, f.New()), payload)
+	o := discoveryOptions(cfg, f.New())
+	c.attachMemo(cfg, &o)
+	s, err := discovery.DecodeSession(c.c, o, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	// The delta is applied after the state decoded: a snapshot that fails to
+	// restore must not leave half its cache entries behind.
+	if err := c.applyMemoDelta(cfg, delta); err != nil {
+		return nil, err
 	}
 	return &Session{c: c, s: s, cfg: cfg}, nil
 }
@@ -132,13 +170,16 @@ func (c *Collection) RestoreSession(data []byte, opts ...Option) (*Session, erro
 // different collection) is rejected rather than silently walking to a wrong
 // leaf.
 func (t *Tree) RestoreSession(data []byte) (*Session, error) {
-	_, payload, err := t.c.openEnvelope(data, SnapshotTreeSession, nil)
+	cfg, payload, delta, err := t.c.openEnvelope(data, SnapshotTreeSession, nil)
 	if err != nil {
 		return nil, err
 	}
 	s, err := discovery.DecodeTreeSession(t.c.c, t.t, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	if err := t.c.applyMemoDelta(cfg, delta); err != nil {
+		return nil, err
 	}
 	return &Session{c: t.c, s: s, tree: t}, nil
 }
@@ -147,7 +188,7 @@ func (t *Tree) RestoreSession(data []byte) (*Session, error) {
 // this collection. Members resume against a fresh shared scheduler and keep
 // amortising exactly as before the suspension.
 func (c *Collection) RestoreBatch(data []byte, opts ...Option) (*Batch, error) {
-	cfg, payload, err := c.openEnvelope(data, SnapshotBatch, opts)
+	cfg, payload, delta, err := c.openEnvelope(data, SnapshotBatch, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +199,9 @@ func (c *Collection) RestoreBatch(data []byte, opts ...Option) (*Batch, error) {
 	b, err := discovery.DecodeBatch(c.c, f, discoveryOptions(cfg, nil), payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	if err := c.applyMemoDelta(cfg, delta); err != nil {
+		return nil, err
 	}
 	return &Batch{c: c, b: b, cfg: cfg}, nil
 }
@@ -171,7 +215,7 @@ type SnapshotInfo struct {
 
 // ReadSnapshotInfo peeks at a snapshot's envelope header.
 func ReadSnapshotInfo(data []byte) (SnapshotInfo, error) {
-	kind, _, _, err := parseHeader(data)
+	_, kind, _, _, err := parseHeader(data)
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
@@ -198,9 +242,13 @@ type envelopeWriter struct {
 }
 
 func newEnvelope(kind SnapshotKind, fp dataset.Fingerprint) *envelopeWriter {
+	return newEnvelopeVersion(snapshotVersion, kind, fp)
+}
+
+func newEnvelopeVersion(version byte, kind SnapshotKind, fp dataset.Fingerprint) *envelopeWriter {
 	w := &envelopeWriter{buf: make([]byte, 0, 64)}
 	w.buf = append(w.buf, snapshotMagic...)
-	w.buf = append(w.buf, snapshotVersion, byte(kind))
+	w.buf = append(w.buf, version, byte(kind))
 	w.buf = binary.BigEndian.AppendUint64(w.buf, fp.Hi)
 	w.buf = binary.BigEndian.AppendUint64(w.buf, fp.Lo)
 	return w
@@ -234,39 +282,41 @@ func badSnapshot(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
 }
 
-// parseHeader validates magic/version and returns the kind, fingerprint and
-// the bytes after the fixed header.
-func parseHeader(data []byte) (SnapshotKind, dataset.Fingerprint, []byte, error) {
+// parseHeader validates magic/version and returns the version, kind,
+// fingerprint and the bytes after the fixed header.
+func parseHeader(data []byte) (byte, SnapshotKind, dataset.Fingerprint, []byte, error) {
 	const headerLen = len(snapshotMagic) + 2 + 16
 	if len(data) < headerLen {
-		return 0, dataset.Fingerprint{}, nil, badSnapshot("truncated header")
+		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("truncated header")
 	}
 	if string(data[:4]) != snapshotMagic {
-		return 0, dataset.Fingerprint{}, nil, badSnapshot("bad magic %q", data[:4])
+		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("bad magic %q", data[:4])
 	}
-	if data[4] != snapshotVersion {
-		return 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot version %d", data[4])
+	version := data[4]
+	if version != snapshotVersion && version != snapshotVersionDelta {
+		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot version %d", version)
 	}
 	kind := SnapshotKind(data[5])
 	if kind != SnapshotSession && kind != SnapshotTreeSession && kind != SnapshotBatch {
-		return 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot kind %d", data[5])
+		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot kind %d", data[5])
 	}
 	fp := dataset.Fingerprint{
 		Hi: binary.BigEndian.Uint64(data[6:14]),
 		Lo: binary.BigEndian.Uint64(data[14:22]),
 	}
-	return kind, fp, data[headerLen:], nil
+	return version, kind, fp, data[headerLen:], nil
 }
 
 // openEnvelope parses and validates the header against this collection and
 // the expected kind, decodes the embedded configuration (loop and batch
-// kinds) and applies the caller's restore-side options on top. It returns
-// the final configuration and the state payload.
-func (c *Collection) openEnvelope(data []byte, want SnapshotKind, opts []Option) (config, []byte, error) {
+// kinds) and applies the caller's restore-side options on top. It returns the
+// final configuration, the state payload and — for version-2 envelopes — the
+// memo-delta section (nil for version 1).
+func (c *Collection) openEnvelope(data []byte, want SnapshotKind, opts []Option) (config, []byte, []byte, error) {
 	cfg := defaultConfig()
-	kind, fp, rest, err := parseHeader(data)
+	version, kind, fp, rest, err := parseHeader(data)
 	if err != nil {
-		return cfg, nil, err
+		return cfg, nil, nil, err
 	}
 	if kind != want {
 		hint := ""
@@ -278,20 +328,46 @@ func (c *Collection) openEnvelope(data []byte, want SnapshotKind, opts []Option)
 		case SnapshotBatch:
 			hint = " (restore it with Collection.RestoreBatch)"
 		}
-		return cfg, nil, badSnapshot("snapshot holds a %s, not a %s%s", kind, want, hint)
+		return cfg, nil, nil, badSnapshot("snapshot holds a %s, not a %s%s", kind, want, hint)
 	}
 	if got := c.c.ContentFingerprint(); got != fp {
-		return cfg, nil, badSnapshot("snapshot was exported from a different collection")
+		return cfg, nil, nil, badSnapshot("snapshot was exported from a different collection")
 	}
 	if kind != SnapshotTreeSession {
 		if rest, err = readConfig(&cfg, rest); err != nil {
-			return cfg, nil, err
+			return cfg, nil, nil, err
 		}
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return cfg, rest, nil
+	var delta []byte
+	if version == snapshotVersionDelta {
+		stateLen, n := binary.Uvarint(rest)
+		if n <= 0 || stateLen > uint64(len(rest)-n) {
+			return cfg, nil, nil, badSnapshot("truncated state length")
+		}
+		rest, delta = rest[n:n+int(stateLen)], rest[n+int(stateLen):]
+	}
+	return cfg, rest, delta, nil
+}
+
+// applyMemoDelta validates a snapshot's memo-delta section and imports it
+// into the collection's selection memo. With shared selection disabled on the
+// restoring side the entries are still fully validated — a corrupt delta must
+// fail the restore either way — but land in a throwaway memo instead.
+func (c *Collection) applyMemoDelta(cfg config, delta []byte) error {
+	if delta == nil {
+		return nil
+	}
+	m := discovery.NewSelectionMemo(1)
+	if cfg.sharedSelection {
+		m = c.selectionMemo(cfg.cacheBound)
+	}
+	if _, err := discovery.DecodeMemoDelta(c.c, m, delta); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	}
+	return nil
 }
 
 // readConfig decodes the configuration section into cfg, returning the
