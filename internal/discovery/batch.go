@@ -102,6 +102,7 @@ func (d *scheduler) apply(s *Session, cs *dataset.Subset, e dataset.Entity, a An
 	pe, ok := d.parts[k]
 	if !ok {
 		if d.scratch != nil {
+			// lint:owns — both halves live in d.parts until EndRound releases them.
 			pe.with, pe.without = cs.PartitionScratch(e, d.scratch)
 		} else {
 			pe.with, pe.without = cs.Partition(e)

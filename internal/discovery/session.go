@@ -215,6 +215,7 @@ func (s *Session) Answer(a Answer) error {
 			s.excluded[e] = true
 		case Yes, No:
 			old := s.cs
+			// lint:owns — the session owns cs; finish/releaseTrail recycle it.
 			s.cs = s.sched.apply(s, old, e, a)
 			if s.opts.Backtrack {
 				// The trail must be able to restore any earlier candidate

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"setdiscovery/internal/lint"
+	"setdiscovery/internal/lint/linttest"
+)
+
+// TestDecoderBounds proves unbounded decoded counts are flagged at
+// allocation and loop sites — including through same-package reader
+// helpers — while bound-checked, clamped, read-per-iteration, and
+// lint:bounded-annotated sites pass.
+func TestDecoderBounds(t *testing.T) {
+	linttest.Run(t, lint.DecoderBounds, "decoderbounds")
+}

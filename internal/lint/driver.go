@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// This file implements the `go vet -vettool` driver protocol (the same
+// contract golang.org/x/tools/go/analysis/unitchecker speaks): cmd/go
+// compiles each package, writes a JSON "vet.cfg" describing its sources
+// and the export data of its dependencies, and invokes the tool once per
+// package with the config path as the sole positional argument. The tool
+// type-checks from the config alone — no go/packages, no build system —
+// which keeps the driver standard-library only.
+
+// VetConfig mirrors the JSON configuration cmd/go passes to a vet tool.
+// Field names are fixed by the protocol.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// JSONDiagnostic is one finding in -json output: the position rendered
+// file:line:col, and the message.
+type JSONDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// RunUnit analyzes the single package described by cfgFile and returns the
+// process exit code: 0 for clean (or JSON mode, which always reports
+// success and carries findings in the payload), 1 when findings were
+// printed, 2 on driver errors. Plain findings go to stderr as
+// "file:line:col: message"; JSON goes to stdout keyed by package ID and
+// analyzer name, matching the unitchecker output shape.
+func RunUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "setdisclint: %v\n", err)
+		return 2
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "setdisclint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// The driver contributes no cross-package facts, but the protocol
+	// expects the .vetx output file to exist so cmd/go can cache it and
+	// feed it to dependents via PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "setdisclint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // a compile step elsewhere reports it better
+			}
+			fmt.Fprintf(stderr, "setdisclint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "setdisclint: %v\n", err)
+		return 1
+	}
+
+	type finding struct {
+		analyzer string
+		diag     Diagnostic
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, finding{a.Name, d})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(stderr, "setdisclint: %s: %v\n", a.Name, err)
+			return 2
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		return findings[i].diag.Pos < findings[j].diag.Pos
+	})
+
+	if jsonOut {
+		tree := map[string]map[string][]JSONDiagnostic{
+			cfg.ID: {},
+		}
+		for _, f := range findings {
+			tree[cfg.ID][f.analyzer] = append(tree[cfg.ID][f.analyzer], JSONDiagnostic{
+				Posn:    fset.Position(f.diag.Pos).String(),
+				Message: f.diag.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(tree)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(stderr, "%v: %s\n", fset.Position(f.diag.Pos), f.diag.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typecheck builds type information for the package using the compiler
+// export data cmd/go listed in the config.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *VetConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		Error:     func(error) {}, // collect via Check's return; keep going
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo allocates the types.Info maps the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp makes the PR 5 review fix permanent: production code classifies
+// errors with errors.Is / errors.As, never by message substring and never
+// by == against anything but nil or a package-level sentinel. Message
+// matching breaks the moment a wrapping layer (fmt.Errorf("...: %w", err))
+// or a reworded message lands; == misses wrapped sentinels entirely, which
+// is why the router's drain path once failed to classify its own
+// "no backend" error.
+//
+// Flagged:
+//
+//   - strings.Contains/HasPrefix/HasSuffix/Index/EqualFold with an
+//     err.Error() argument;
+//   - == / != where one operand is an error and the other is neither nil
+//     nor a package-level sentinel variable;
+//   - switch on an error value with non-sentinel case expressions.
+//
+// Comparing against a bare package-level sentinel (err == ErrContradiction)
+// stays legal: identity against an unwrapped sentinel is exactly what
+// errors.Is reduces to, and the snapshot codec relies on distinguishing
+// the bare value from a wrapped one. _test.go files are exempt.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "check that errors are classified with errors.Is/As, not substrings or ad-hoc ==",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkStringMatch(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrEquality(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStringMatch flags strings.* matching over err.Error() text.
+func checkStringMatch(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "strings" {
+		return
+	}
+	switch f.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorMessageCall(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(), "error classified by message substring (strings.%s on err.Error()); define a sentinel or error type and use errors.Is/As", f.Name())
+			return
+		}
+	}
+}
+
+// isErrorMessageCall reports whether e is a call of the Error method on an
+// error value (directly or through a selector chain).
+func isErrorMessageCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.Identical(t, errType) || types.Implements(t, errType.Underlying().(*types.Interface))
+}
+
+func checkErrEquality(pass *Pass, cmp *ast.BinaryExpr) {
+	xErr := operandIsError(pass.TypesInfo, cmp.X)
+	yErr := operandIsError(pass.TypesInfo, cmp.Y)
+	if !xErr && !yErr {
+		return
+	}
+	// One side is the value under classification (any shape); the OTHER
+	// side must be nil or a bare package-level sentinel.
+	if isNilOrSentinel(pass, cmp.X) || isNilOrSentinel(pass, cmp.Y) {
+		return
+	}
+	pass.Reportf(cmp.Pos(), "error compared with %s against a non-sentinel; use errors.Is (it matches wrapped errors too)", cmp.Op)
+}
+
+// operandIsError reports whether e has static interface type error.
+func operandIsError(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// isNilOrSentinel reports whether e is nil or names a package-level error
+// variable — the classic `var ErrFoo = errors.New(...)` sentinel, possibly
+// selector-qualified (io.EOF, discovery.ErrContradiction).
+func isNilOrSentinel(pass *Pass, e ast.Expr) bool {
+	e = unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return isSentinelVar(pass.TypesInfo.ObjectOf(x))
+	case *ast.SelectorExpr:
+		return isSentinelVar(pass.TypesInfo.ObjectOf(x.Sel))
+	}
+	return false
+}
+
+// isSentinelVar reports whether obj is a package-level error variable.
+func isSentinelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !operandIsError(pass.TypesInfo, sw.Tag) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isNilOrSentinel(pass, e) {
+				continue
+			}
+			pass.Reportf(e.Pos(), "error switched against a non-sentinel case; use errors.Is in if/else (it matches wrapped errors too)")
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"setdiscovery/internal/lint"
+	"setdiscovery/internal/lint/linttest"
+)
+
+// TestErrCmp proves substring matching on err.Error() and ad-hoc ==/switch
+// comparisons are flagged, while nil checks, bare package-level sentinels,
+// and errors.Is pass.
+func TestErrCmp(t *testing.T) {
+	linttest.Run(t, lint.ErrCmp, "errcmp")
+}

@@ -1,0 +1,199 @@
+// Package linttest runs a lint.Analyzer over a GOPATH-style fixture tree
+// and checks its findings against expectations written as "// want"
+// comments — the golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	bad() // want `regexp for first finding` `regexp for second`
+//
+// Each backquoted (or double-quoted) pattern is a regular expression that
+// must match one diagnostic reported on that line; diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test.
+//
+// Fixture packages live under testdata/src/<import-path>/. Imports resolve
+// within the fixture tree first (so fixtures can share a fake
+// setdiscovery/internal/dataset), then fall back to compiling the standard
+// library from source — the fixtures type-check without any precompiled
+// export data.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"setdiscovery/internal/lint"
+)
+
+// Run loads testdata/src/<pkgPath>, applies the analyzer, and verifies its
+// diagnostics against the fixture's want-comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := &loader{
+		fset: token.NewFileSet(),
+		root: filepath.Join("testdata", "src"),
+		pkgs: map[string]*loadedPkg{},
+	}
+	lp, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []lint.Diagnostic
+	pass := &lint.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     lp.files,
+		Pkg:       lp.pkg,
+		TypesInfo: lp.info,
+		Report:    func(d lint.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkExpectations(t, ld.fset, lp.files, diags)
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture imports: testdata first, then the standard
+// library compiled from source.
+type loader struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*loadedPkg
+	std  types.Importer
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp.pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := lint.NewTypesInfo()
+	conf := &types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// expectation is one want-pattern at a file:line.
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", pos, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: unquoting %q: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.used && exp.re.MatchString(d.Message) {
+				exp.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, exp.re)
+			}
+		}
+	}
+}

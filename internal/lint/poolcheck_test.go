@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"setdiscovery/internal/lint"
+	"setdiscovery/internal/lint/linttest"
+)
+
+// TestPoolCheck proves the analyzer flags the three historical leak shapes
+// (contradiction path, backtracking trail drop, abandoned batch round) plus
+// double-release, use-after-release, and unannotated escapes — and stays
+// quiet on the disciplined patterns the codebase ships.
+func TestPoolCheck(t *testing.T) {
+	linttest.Run(t, lint.PoolCheck, "poolcheck")
+}

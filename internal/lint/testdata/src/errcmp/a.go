@@ -1,0 +1,72 @@
+// Package errcmp holds the errcmp fixtures: error classification must go
+// through errors.Is/As, not message substrings or ad-hoc ==.
+package errcmp
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+var ErrBoom = errors.New("boom")
+
+// --- substring matching -------------------------------------------------
+
+func substring(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `message substring`
+}
+
+func prefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "router:") // want `message substring`
+}
+
+// Matching over ordinary strings is fine.
+func plainStrings(s string) bool {
+	return strings.Contains(s, "boom")
+}
+
+// --- equality -----------------------------------------------------------
+
+func adhocEq(err error) bool {
+	return err == errors.New("boom") // want `non-sentinel`
+}
+
+func localPair(e1, e2 error) bool {
+	return e1 == e2 // want `non-sentinel`
+}
+
+func sentinelEq(err error) bool {
+	return err == ErrBoom
+}
+
+func ioSentinel(err error) bool {
+	return err != io.EOF
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+type state struct{ err error }
+
+// A field under classification against a bare sentinel stays legal: the
+// snapshot codec distinguishes the unwrapped value on purpose.
+func fieldVsSentinel(s *state) bool {
+	return s.err != ErrBoom
+}
+
+func viaIs(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+// --- switch -------------------------------------------------------------
+
+func switchClassify(err error) int {
+	switch err {
+	case nil, ErrBoom, io.EOF:
+		return 0
+	case errors.New("transient"): // want `non-sentinel case`
+		return 1
+	}
+	return 2
+}

@@ -48,6 +48,11 @@ const vnodes = 64
 // router; state exports of large backtracking sessions are the big case.
 const maxProxyBody = 64 << 20
 
+// ErrNoBackend reports an operation naming an engine the router does not
+// track. Callers classify it with errors.Is — the wrapped message carries
+// the backend name.
+var ErrNoBackend = errors.New("router: no backend")
+
 // Option configures a Router.
 type Option func(*Router)
 
@@ -293,7 +298,7 @@ func (rt *Router) Drain(name string) (int, error) {
 	b, ok := rt.backends[name]
 	if !ok {
 		rt.mu.Unlock()
-		return 0, fmt.Errorf("router: no backend %q", name)
+		return 0, fmt.Errorf("%w %q", ErrNoBackend, name)
 	}
 	b.draining = true
 	rt.rebuildRingLocked()
@@ -316,7 +321,7 @@ func (rt *Router) RemoveBackend(name string) error {
 	defer rt.mu.Unlock()
 	b, ok := rt.backends[name]
 	if !ok {
-		return fmt.Errorf("router: no backend %q", name)
+		return fmt.Errorf("%w %q", ErrNoBackend, name)
 	}
 	delete(rt.backends, name)
 	for id, own := range rt.owners {
@@ -758,7 +763,7 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 	migrated, err := rt.Drain(name)
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "no backend") {
+		if errors.Is(err, ErrNoBackend) {
 			status = http.StatusNotFound
 		}
 		rt.writeError(w, status, err)

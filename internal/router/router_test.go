@@ -3,6 +3,7 @@ package router
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -557,5 +558,35 @@ func TestRouterStats(t *testing.T) {
 	}
 	if alive != 2 {
 		t.Errorf("%d backends alive in stats, want 2", alive)
+	}
+}
+
+// TestDrainUnknownBackendSentinel pins the errcmp fix: operations naming
+// an untracked engine classify as ErrNoBackend through errors.Is — even
+// wrapped — and the HTTP drain surface maps it to 404, not 400.
+func TestDrainUnknownBackendSentinel(t *testing.T) {
+	rt := New()
+	if _, err := rt.Drain("ghost"); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("Drain(ghost) = %v; want errors.Is(err, ErrNoBackend)", err)
+	}
+	if err := rt.RemoveBackend("ghost"); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("RemoveBackend(ghost) = %v; want errors.Is(err, ErrNoBackend)", err)
+	}
+	if wrapped := fmt.Errorf("draining fleet: %w", func() error {
+		_, err := rt.Drain("ghost")
+		return err
+	}()); !errors.Is(wrapped, ErrNoBackend) {
+		t.Fatalf("wrapped drain error %v lost the ErrNoBackend sentinel", wrapped)
+	}
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/v1/router/backends/ghost/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drain of unknown backend returned %d; want 404", resp.StatusCode)
 	}
 }

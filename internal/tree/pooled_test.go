@@ -126,3 +126,50 @@ func TestBuildErrorPathsStillWork(t *testing.T) {
 		t.Fatal("empty sub-collection did not fail")
 	}
 }
+
+// fixedEntity always proposes the same entity. The root split succeeds;
+// the child whose sets all contain the entity gets the same proposal
+// again, which no longer splits — driving build's error return with live
+// pooled partitions up the recursion stack.
+type fixedEntity struct{ e dataset.Entity }
+
+func (f fixedEntity) Name() string                                      { return "fixed" }
+func (f fixedEntity) New() strategy.Strategy                            { return f }
+func (f fixedEntity) Select(sub *dataset.Subset) (dataset.Entity, bool) { return f.e, true }
+
+// TestBuildErrorPathsReleaseEveryPooledBitset is the poolcheck regression
+// test for the error returns in builder.build: a failing build — inline
+// and forked — must still hand back every bitset drawn from the pool.
+// Before the fix, the non-splitting-entity return and the two
+// child-error returns each leaked both partition halves.
+func TestBuildErrorPathsReleaseEveryPooledBitset(t *testing.T) {
+	c := pooledTestCollection(t)
+	sub := c.All()
+	var e dataset.Entity
+	found := false
+	for _, ec := range sub.InformativeEntities() {
+		if ec.Count > 0 && ec.Count < sub.Size() {
+			e = ec.Entity
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no informative entity in test collection")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		pool := bitset.NewPool()
+		_, err := Build(sub, fixedEntity{e: e}, WithParallelism(workers), withSharedPool(pool))
+		if err == nil {
+			t.Fatalf("workers=%d: repeated entity %d built a tree; want non-splitting error", workers, e)
+		}
+		st := pool.Stats()
+		if st.Gets == 0 {
+			t.Fatalf("workers=%d: failing build drew nothing from the injected pool", workers)
+		}
+		if out := st.Outstanding(); out != 0 {
+			t.Fatalf("workers=%d: failing build leaked %d pooled bitsets (%d gets, %d puts)",
+				workers, out, st.Gets, st.Puts)
+		}
+	}
+}

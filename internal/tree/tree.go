@@ -196,6 +196,8 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy, sc *dataset.
 		with, without = sub.Partition(e)
 	}
 	if with.Size() == 0 || without.Size() == 0 {
+		with.Release()
+		without.Release()
 		return nil, fmt.Errorf("tree: strategy %s proposed non-splitting entity %d",
 			sel.Name(), e)
 	}
@@ -220,28 +222,30 @@ func (b *builder) build(sub *dataset.Subset, sel strategy.Strategy, sc *dataset.
 			}()
 			no, nerr := b.build(without, sel, sc)
 			<-done
+			with.Release()
+			without.Release()
 			if yerr != nil {
 				return nil, yerr
 			}
 			if nerr != nil {
 				return nil, nerr
 			}
-			with.Release()
-			without.Release()
 			return &Node{Entity: e, Yes: yes, No: no}, nil
 		default:
 		}
 	}
 	yes, err := b.build(with, sel, sc)
 	if err != nil {
+		with.Release()
+		without.Release()
 		return nil, err
 	}
 	no, err := b.build(without, sel, sc)
+	with.Release()
+	without.Release()
 	if err != nil {
 		return nil, err
 	}
-	with.Release()
-	without.Release()
 	return &Node{Entity: e, Yes: yes, No: no}, nil
 }
 
