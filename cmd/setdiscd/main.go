@@ -13,7 +13,10 @@
 // Usage (router mode — the sharding tier):
 //
 //	setdiscd -route engineA=http://host1:8080 -route engineB=http://host2:8080
-//	         [-addr :8079]
+//	         [-addr :8079] [-router-persist routing.log]
+//	         [-health-interval 5s] [-health-timeout 2s]
+//	         [-health-fail 3] [-health-recover 2]
+//	         [-snapshot-every 1] [-proxy-timeout 10s]
 //
 // Each -collection flag registers one collection; "name=path" sets the
 // registered name explicitly, a bare path uses the file's base name without
@@ -27,6 +30,16 @@
 // live-migrates sessions (snapshot export/import on the state endpoints)
 // when a backend is drained (POST /v1/router/backends/{name}/drain) or a
 // new one joins. The backends should register the same collections.
+//
+// The router self-heals (see the README "Fault tolerance" section): it
+// probes every backend's /v1/healthz on -health-interval, declares one dead
+// after -health-fail consecutive failures, resurrects the dead engine's
+// sessions onto survivors from their last-known snapshots, and readmits the
+// engine after -health-recover consecutive successes. -health-interval 0
+// disables the probe loop. With -router-persist the backend set and the
+// session→backend affinity table survive router restarts in an append-only
+// log, so a restarted router keeps routing every live session without a
+// rediscovery stampede.
 //
 // With -cache-persist the engine writes each collection's hottest
 // selection-cache shard to the named directory on graceful shutdown and
@@ -98,6 +111,14 @@ func main() {
 		parallel     = flag.Int("parallel", 0, "tree construction workers (0 = GOMAXPROCS)")
 		cacheBound   = flag.Int("cache-bound", 1<<20, "max entries per lookahead cache (clock eviction; 0 = unbounded)")
 		cachePersist = flag.String("cache-persist", "", "directory for persisted selection-cache shards (written on shutdown, loaded at startup)")
+
+		routerPersist  = flag.String("router-persist", "", "router mode: append-only log persisting the backend set and affinity table across restarts")
+		healthInterval = flag.Duration("health-interval", router.DefaultHealthInterval, "router mode: backend health-probe interval (0 disables the probe loop)")
+		healthTimeout  = flag.Duration("health-timeout", router.DefaultHealthTimeout, "router mode: per-probe timeout")
+		healthFail     = flag.Int("health-fail", router.DefaultFailThreshold, "router mode: consecutive probe failures before a backend is declared dead")
+		healthRecover  = flag.Int("health-recover", router.DefaultRecoverThreshold, "router mode: consecutive probe successes before a dead backend is readmitted")
+		snapshotEvery  = flag.Int("snapshot-every", router.DefaultSnapshotEvery, "router mode: answered rounds between session-snapshot captures (resurrection staleness bound)")
+		proxyTimeout   = flag.Duration("proxy-timeout", router.DefaultProxyTimeout, "router mode: per-attempt deadline on proxied client requests")
 	)
 	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
 	flag.Var(&routes, "route", "run as a router over this backend engine, as name=url (repeatable; excludes -collection)")
@@ -109,7 +130,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "setdiscd: -route (router mode) and -collection (engine mode) are mutually exclusive")
 			os.Exit(2)
 		}
-		runRouter(logger, *addr, routes)
+		runRouter(logger, *addr, routes, routerConfig{
+			persist:        *routerPersist,
+			healthInterval: *healthInterval,
+			healthTimeout:  *healthTimeout,
+			healthFail:     *healthFail,
+			healthRecover:  *healthRecover,
+			snapshotEvery:  *snapshotEvery,
+			proxyTimeout:   *proxyTimeout,
+		})
 		return
 	}
 	if len(collections) == 0 {
@@ -184,10 +213,40 @@ func main() {
 	}
 }
 
-// runRouter starts the daemon in router mode: a sharding front over the
-// named backend engines.
-func runRouter(logger *log.Logger, addr string, routes []string) {
-	rt := router.New(router.WithLogf(logger.Printf))
+// routerConfig carries the router-mode flags into runRouter.
+type routerConfig struct {
+	persist        string
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+	healthFail     int
+	healthRecover  int
+	snapshotEvery  int
+	proxyTimeout   time.Duration
+}
+
+// runRouter starts the daemon in router mode: a self-healing sharding front
+// over the named backend engines.
+func runRouter(logger *log.Logger, addr string, routes []string, cfg routerConfig) {
+	opts := []router.Option{
+		router.WithLogf(logger.Printf),
+		router.WithHealth(router.HealthConfig{
+			Interval:         cfg.healthInterval,
+			Timeout:          cfg.healthTimeout,
+			FailThreshold:    cfg.healthFail,
+			RecoverThreshold: cfg.healthRecover,
+		}),
+		router.WithSnapshotEvery(cfg.snapshotEvery),
+		router.WithProxyTimeout(cfg.proxyTimeout),
+	}
+	if cfg.persist != "" {
+		opts = append(opts, router.WithPersist(cfg.persist))
+	}
+	rt := router.New(opts...)
+	if err := rt.PersistError(); err != nil {
+		// An unusable log means a restart would silently forget every
+		// session — refuse to start rather than degrade invisibly.
+		logger.Fatalf("router persistence: %v", err)
+	}
 	for _, spec := range routes {
 		i := strings.IndexByte(spec, '=')
 		if i <= 0 {
@@ -195,9 +254,21 @@ func runRouter(logger *log.Logger, addr string, routes []string) {
 		}
 		name, u := spec[:i], spec[i+1:]
 		if err := rt.AddBackend(name, u); err != nil {
+			if errors.Is(err, router.ErrBackendExists) {
+				// A restart replaying its -route flags over the persisted
+				// backend set: already registered, identically.
+				continue
+			}
 			logger.Fatal(err)
 		}
 		logger.Printf("routing to backend %q at %s", name, u)
+	}
+	if cfg.healthInterval > 0 {
+		hctx, hcancel := context.WithCancel(context.Background())
+		defer hcancel()
+		rt.StartHealth(hctx)
+		logger.Printf("health loop: probing every %v (dead after %d failures, readmitted after %d successes)",
+			cfg.healthInterval, cfg.healthFail, cfg.healthRecover)
 	}
 	logger.Printf("routing on %s (%d backends; drain with POST /v1/router/backends/{name}/drain)", addr, len(routes))
 	serve(logger, addr, rt.Handler())

@@ -1,0 +1,361 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"setdiscovery/internal/server"
+	"setdiscovery/internal/testutil"
+)
+
+// chaosFleet is two engines, each behind its own fault-injection proxy,
+// fronted by one router — the stage for every kill/partition/flap E2E.
+type chaosFleet struct {
+	engines map[string]*engine
+	proxies map[string]*testutil.ChaosProxy
+	rt      *Router
+	front   *httptest.Server
+}
+
+func newChaosFleet(t *testing.T, opts ...Option) *chaosFleet {
+	t.Helper()
+	f := &chaosFleet{
+		engines: map[string]*engine{"a": newEngine(t), "b": newEngine(t)},
+		proxies: map[string]*testutil.ChaosProxy{},
+	}
+	f.rt = New(append([]Option{WithLogf(t.Logf)}, opts...)...)
+	for name, e := range f.engines {
+		p, err := testutil.NewChaosProxy(e.ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		f.proxies[name] = p
+		if err := f.rt.AddBackend(name, p.URL()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.front = httptest.NewServer(f.rt.Handler())
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+// detectDeath drives enough synchronous probe rounds to cross the failure
+// threshold — the deterministic stand-in for FailThreshold × Interval of
+// wall clock.
+func (f *chaosFleet) detectDeath(t *testing.T) {
+	t.Helper()
+	for i := 0; i < f.rt.health.FailThreshold; i++ {
+		f.rt.CheckHealthNow(context.Background())
+	}
+}
+
+// getWithHeaders is do() plus access to the response headers.
+func getWithHeaders(t *testing.T, url string, out any) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// TestChaosKillResurrect is the PR's acceptance test: an engine is killed
+// mid-discovery with no graceful drain (its proxy resets every connection,
+// as a SIGKILLed process's kernel would), the health loop detects the death
+// within the documented bound, and the session resumes on the survivor from
+// its last-known snapshot — completing with exactly the question sequence
+// and result its never-killed twin produces. The first response after
+// resurrection carries the X-Setdisc-Resumed header.
+func TestChaosKillResurrect(t *testing.T) {
+	f := newChaosFleet(t, WithSnapshotEvery(1))
+	oracle, err := f.engines["a"].c.TargetOracle("S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	create := server.CreateSessionRequest{Initial: []string{"b"}}
+
+	// Reference: the never-killed twin on a standalone engine.
+	standalone := newEngine(t)
+	wantAsked, wantRes := fullSequence(t, standalone.ts.URL, create, oracle)
+	if len(wantAsked) < 2 {
+		t.Fatalf("want a multi-question discovery, got %d questions", len(wantAsked))
+	}
+
+	var q server.QuestionResponse
+	if code := do(t, "POST", f.front.URL+"/v1/collections/paper/sessions", create, &q); code != http.StatusCreated {
+		t.Fatalf("create via router: status %d", code)
+	}
+	var asked []string
+	for i := 0; i < len(wantAsked)/2 && !q.Done; i++ {
+		asked = append(asked, q.Entity)
+		q = answerOnce(t, f.front.URL, q, oracle)
+	}
+
+	// SIGKILL the engine that owns the session: no drain, no state export.
+	counts := sessionOwner(t, f.front.URL)
+	var ownerName, survivor string
+	for name := range f.engines {
+		if counts[name] > 0 {
+			ownerName = name
+		} else {
+			survivor = name
+		}
+	}
+	if ownerName == "" || survivor == "" {
+		t.Fatalf("no single owner: %v", counts)
+	}
+	f.proxies[ownerName].SetMode(testutil.ChaosReset)
+
+	// Detection: dead after exactly FailThreshold consecutive probe rounds.
+	f.detectDeath(t)
+	if st, ok := f.rt.healthStateOf(ownerName); !ok || st != stateDead {
+		t.Fatalf("owner %s state after threshold: %v", ownerName, st)
+	}
+
+	// The first post-crash response announces the resurrection.
+	var resumed server.QuestionResponse
+	status, hdr := getWithHeaders(t, f.front.URL+"/v1/sessions/"+q.SessionID+"/question", &resumed)
+	if status != http.StatusOK {
+		t.Fatalf("question after resurrection: status %d", status)
+	}
+	if got := hdr.Get(ResumedHeader); !strings.Contains(got, "from="+ownerName) {
+		t.Errorf("%s header = %q, want from=%s", ResumedHeader, got, ownerName)
+	}
+	// Announced once, then cleared.
+	_, hdr = getWithHeaders(t, f.front.URL+"/v1/sessions/"+q.SessionID+"/question", nil)
+	if got := hdr.Get(ResumedHeader); got != "" {
+		t.Errorf("second response still carries %s = %q", ResumedHeader, got)
+	}
+	if resumed.Entity != q.Entity || resumed.Confirm != q.Confirm || resumed.Questions != q.Questions {
+		t.Fatalf("resumed at %+v, want the crash-point question %+v", resumed, q)
+	}
+
+	// The remaining discovery is byte-identical to the twin's.
+	q = resumed
+	for rounds := 0; !q.Done; rounds++ {
+		if rounds > 100 {
+			t.Fatal("resurrected session did not converge")
+		}
+		if q.Entity != "" {
+			asked = append(asked, q.Entity)
+		}
+		q = answerOnce(t, f.front.URL, q, oracle)
+	}
+	if len(asked) != len(wantAsked) {
+		t.Fatalf("asked %v, twin asked %v", asked, wantAsked)
+	}
+	for i := range asked {
+		if asked[i] != wantAsked[i] {
+			t.Fatalf("question %d: asked %q, twin asked %q", i, asked[i], wantAsked[i])
+		}
+	}
+	var res server.ResultResponse
+	if code := do(t, "GET", f.front.URL+"/v1/sessions/"+q.SessionID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	if res.Target != wantRes.Target || res.Questions != wantRes.Questions {
+		t.Errorf("result %+v, twin %+v", res, wantRes)
+	}
+
+	// The session now lives on the survivor.
+	if counts := sessionOwner(t, f.front.URL); counts[survivor] != 1 {
+		t.Errorf("session not tracked on survivor: %v", counts)
+	}
+}
+
+// TestChaosAnswerWhileDead pins the degrade-gracefully shape: an answer for
+// a session whose owner is dead and unresurrectable (no snapshot) is
+// answered 503 with Retry-After, never blind-forwarded.
+func TestChaosAnswerWhileDead(t *testing.T) {
+	// SnapshotEvery high enough that no snapshot is ever captured after
+	// creation... creation always captures, so drop the cache entry by hand
+	// below instead.
+	f := newChaosFleet(t, WithSnapshotEvery(1))
+	var q server.QuestionResponse
+	if code := do(t, "POST", f.front.URL+"/v1/collections/paper/sessions",
+		server.CreateSessionRequest{Initial: []string{"b"}}, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	counts := sessionOwner(t, f.front.URL)
+	var ownerName string
+	for name, n := range counts {
+		if n > 0 {
+			ownerName = name
+		}
+	}
+	// Make the session unrecoverable, then kill its owner: it must park.
+	f.rt.snaps.drop(q.SessionID)
+	f.proxies[ownerName].SetMode(testutil.ChaosReset)
+	f.detectDeath(t)
+
+	req, _ := http.NewRequest("POST", f.front.URL+"/v1/sessions/"+q.SessionID+"/answer",
+		strings.NewReader(`{"answer":"yes"}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("answer at dead backend: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+// TestRouterRestartPersistedAffinity pins the durable-affinity acceptance
+// criterion: a router restarted over its persist log keeps serving a
+// pre-existing session — same ID, no new create — because the backend set
+// and the affinity table replay from disk.
+func TestRouterRestartPersistedAffinity(t *testing.T) {
+	eng := newEngine(t)
+	logPath := filepath.Join(t.TempDir(), "routing.log")
+
+	rt1 := New(WithLogf(t.Logf), WithPersist(logPath))
+	if err := rt1.PersistError(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt1.AddBackend("a", eng.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	front1 := httptest.NewServer(rt1.Handler())
+	oracle, err := eng.c.TargetOracle("S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q server.QuestionResponse
+	if code := do(t, "POST", front1.URL+"/v1/collections/paper/sessions",
+		server.CreateSessionRequest{Initial: []string{"b"}}, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	q = answerOnce(t, front1.URL, q, oracle)
+	front1.Close()
+
+	// The restarted router: same log, no AddBackend calls needed.
+	rt2 := New(WithLogf(t.Logf), WithPersist(logPath))
+	if err := rt2.PersistError(); err != nil {
+		t.Fatal(err)
+	}
+	// A daemon restart replays its -route flags too; the persisted set
+	// makes that a distinguishable no-op.
+	if err := rt2.AddBackend("a", eng.ts.URL); !errors.Is(err, ErrBackendExists) {
+		t.Fatalf("replayed AddBackend: %v, want ErrBackendExists", err)
+	}
+	front2 := httptest.NewServer(rt2.Handler())
+	t.Cleanup(front2.Close)
+
+	for rounds := 0; !q.Done; rounds++ {
+		if rounds > 100 {
+			t.Fatal("session did not converge after router restart")
+		}
+		q = answerOnce(t, front2.URL, q, oracle)
+	}
+	var res server.ResultResponse
+	if code := do(t, "GET", front2.URL+"/v1/sessions/"+q.SessionID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	if res.Target != "S4" {
+		t.Errorf("resolved %q, want S4", res.Target)
+	}
+}
+
+// TestRetryTransientBackendErrors pins the retry split: an idempotent GET
+// rides out transient 500s (exactly one request per attempt), while a
+// non-idempotent answer POST is single-shot and surfaces the failure.
+func TestRetryTransientBackendErrors(t *testing.T) {
+	f := newChaosFleet(t, WithRetry(3, time.Millisecond))
+	var q server.QuestionResponse
+	if code := do(t, "POST", f.front.URL+"/v1/collections/paper/sessions",
+		server.CreateSessionRequest{Initial: []string{"b"}}, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	counts := sessionOwner(t, f.front.URL)
+	var ownerName string
+	for name, n := range counts {
+		if n > 0 {
+			ownerName = name
+		}
+	}
+	proxy := f.proxies[ownerName]
+
+	// Two injected 500s, then clean: the third attempt wins.
+	proxy.SetPathFilter(func(path string) bool { return strings.HasSuffix(path, "/question") })
+	proxy.FailNext(2, testutil.ChaosError500)
+	before := proxy.Requests()
+	if code := do(t, "GET", f.front.URL+"/v1/sessions/"+q.SessionID+"/question", nil, &q); code != http.StatusOK {
+		t.Fatalf("question through transient faults: status %d", code)
+	}
+	if got := proxy.Requests() - before; got != 3 {
+		t.Errorf("retried GET cost %d backend requests, want 3", got)
+	}
+
+	// A faulted answer is NOT retried: one request, the 500 passes through.
+	proxy.SetPathFilter(func(path string) bool { return strings.HasSuffix(path, "/answer") })
+	proxy.FailNext(1, testutil.ChaosError500)
+	before = proxy.Requests()
+	var e server.ErrorResponse
+	if code := do(t, "POST", f.front.URL+"/v1/sessions/"+q.SessionID+"/answer",
+		server.AnswerRequest{Answer: "yes", Entity: q.Entity, Confirm: q.Confirm}, &e); code != http.StatusInternalServerError {
+		t.Fatalf("faulted answer: status %d, want 500 passed through", code)
+	}
+	if got := proxy.Requests() - before; got != 1 {
+		t.Errorf("single-shot answer cost %d backend requests, want 1", got)
+	}
+}
+
+// TestAnswerTimeoutBound pins the per-attempt deadline fix: a hung engine
+// (black-holed answer) fails the request at the configured proxy timeout,
+// not a shared 30s client timeout, and the 502 carries Retry-After advice.
+func TestAnswerTimeoutBound(t *testing.T) {
+	f := newChaosFleet(t, WithProxyTimeout(200*time.Millisecond))
+	var q server.QuestionResponse
+	if code := do(t, "POST", f.front.URL+"/v1/collections/paper/sessions",
+		server.CreateSessionRequest{Initial: []string{"b"}}, &q); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	counts := sessionOwner(t, f.front.URL)
+	var ownerName string
+	for name, n := range counts {
+		if n > 0 {
+			ownerName = name
+		}
+	}
+	proxy := f.proxies[ownerName]
+	proxy.SetPathFilter(func(path string) bool { return strings.HasSuffix(path, "/answer") })
+	proxy.SetMode(testutil.ChaosBlackhole)
+
+	start := time.Now()
+	req, _ := http.NewRequest("POST", f.front.URL+"/v1/sessions/"+q.SessionID+"/answer",
+		strings.NewReader(`{"answer":"yes"}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("black-holed answer: status %d, want 502", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("502 from a hung engine without Retry-After")
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("answer against hung engine took %v, want ~200ms per-attempt bound", elapsed)
+	}
+}

@@ -1,0 +1,63 @@
+package router
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzRouterLog drives the affinity-log decoder with arbitrary bytes. The
+// file is untrusted input (a crashed router may leave anything on disk), so
+// the decoder must never panic, never over-allocate, reject only with the
+// ErrBadLog sentinel, report a valid prefix within bounds, and re-encode
+// every accepted state into a log that replays to the same state.
+func FuzzRouterLog(f *testing.F) {
+	header := append(append([]byte{}, logMagic[:]...), logVersion)
+	full := append([]byte{}, header...)
+	for _, r := range []record{
+		{op: opAddBackend, name: "a", url: "http://a:1"},
+		{op: opAddBackend, name: "b", url: "http://b:1"},
+		{op: opSetOwner, id: "s1", name: "a", kindPath: "sessions", collection: "paper"},
+		{op: opSetDraining, name: "b", flag: true},
+		{op: opDropOwner, id: "s1"},
+		{op: opRemoveBackend, name: "a"},
+	} {
+		full = append(full, encodeRecord(r)...)
+	}
+	f.Add(full)
+	f.Add(header)
+	f.Add(full[:len(full)-3]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte("SDRL"))
+	f.Add([]byte("not a log"))
+	f.Add(append(append([]byte{}, header...), 0xff, 0xff, 0xff, 0xff, 0xff)) // huge length prefix
+	f.Fuzz(func(t *testing.T, input []byte) {
+		st, valid, err := decodeLogState(input)
+		if err != nil {
+			if !errors.Is(err, ErrBadLog) {
+				t.Fatalf("rejection does not wrap ErrBadLog: %v", err)
+			}
+			return
+		}
+		if valid < 0 || valid > len(input) {
+			t.Fatalf("valid prefix %d out of bounds for %d-byte input", valid, len(input))
+		}
+		if !bytes.HasPrefix(input, header) {
+			t.Fatalf("accepted a log without the %q header", logMagic)
+		}
+		// Lossless round trip: the compacted snapshot of any accepted state
+		// must itself be a fully valid log replaying to the same state.
+		snap := encodeLogSnapshot(st)
+		st2, valid2, err := decodeLogState(snap)
+		if err != nil {
+			t.Fatalf("snapshot of accepted state rejected: %v", err)
+		}
+		if valid2 != len(snap) {
+			t.Fatalf("snapshot has a torn tail: valid %d of %d bytes", valid2, len(snap))
+		}
+		if !reflect.DeepEqual(st, st2) {
+			t.Fatalf("snapshot round trip diverged:\n  %+v\n  %+v", st, st2)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package router
+
+import (
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// discard is the test log sink for persistLog internals.
+func discard(string, ...any) {}
+
+// testRecords is a representative mutation history: two backends, a drain,
+// three affinity entries, one drop, one backend removal (cascading its
+// owner).
+func testRecords() []record {
+	return []record{
+		{op: opAddBackend, name: "a", url: "http://a:1"},
+		{op: opAddBackend, name: "b", url: "http://b:1"},
+		{op: opSetOwner, id: "s1", name: "a", kindPath: "sessions", collection: "paper"},
+		{op: opSetOwner, id: "s2", name: "b", kindPath: "batches", collection: "paper"},
+		{op: opSetOwner, id: "s3", name: "b", kindPath: "sessions", collection: "web"},
+		{op: opSetDraining, name: "a", flag: true},
+		{op: opDropOwner, id: "s3"},
+		{op: opRemoveBackend, name: "b"}, // cascades s2
+	}
+}
+
+// wantState is what testRecords replays to.
+func wantState() *logState {
+	st := newLogState()
+	st.backends["a"] = logBackend{url: "http://a:1", draining: true}
+	st.owners["s1"] = logOwner{backend: "a", kindPath: "sessions", collection: "paper"}
+	return st
+}
+
+func TestPersistLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routing.log")
+	pl, st, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.size() != 0 {
+		t.Fatalf("fresh log replayed %d records", st.size())
+	}
+	for _, r := range testRecords() {
+		pl.append(r)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pl2, st2, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl2.Close()
+	if want := wantState(); !reflect.DeepEqual(st2, want) {
+		t.Errorf("replayed state %+v, want %+v", st2, want)
+	}
+}
+
+func TestPersistLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routing.log")
+	pl, _, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		pl.append(r)
+	}
+	pl.Close()
+
+	// A crash mid-append leaves a half-written record: the replay must end
+	// at the last good one and the reopen must truncate the tail.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, full...), encodeRecord(record{op: opDropOwner, id: "s1"})[:3]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pl2, st, err := openLog(path, discard)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer pl2.Close()
+	if want := wantState(); !reflect.DeepEqual(st, want) {
+		t.Errorf("state after torn tail %+v, want %+v", st, want)
+	}
+	if data, _ := os.ReadFile(path); len(data) != len(full) {
+		t.Errorf("tail not truncated: %d bytes, want %d", len(data), len(full))
+	}
+}
+
+func TestPersistLogCRCCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routing.log")
+	pl, _, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.append(record{op: opAddBackend, name: "a", url: "http://a:1"})
+	pl.append(record{op: opSetOwner, id: "s1", name: "a", kindPath: "sessions", collection: "paper"})
+	pl.Close()
+
+	// Flip one byte in the last record's payload: replay keeps the records
+	// before it, never errors.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pl2, st, err := openLog(path, discard)
+	if err != nil {
+		t.Fatalf("CRC damage must not fail open: %v", err)
+	}
+	defer pl2.Close()
+	if len(st.backends) != 1 || len(st.owners) != 0 {
+		t.Errorf("state after corrupt record: %d backends, %d owners; want 1, 0", len(st.backends), len(st.owners))
+	}
+}
+
+func TestPersistLogBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routing.log")
+	if err := os.WriteFile(path, []byte("this is not a routing log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := openLog(path, discard)
+	if !errors.Is(err, ErrBadLog) {
+		t.Fatalf("foreign file: err = %v, want ErrBadLog", err)
+	}
+	// Unsupported version: same sentinel.
+	if err := os.WriteFile(path, append(append([]byte{}, logMagic[:]...), 99), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openLog(path, discard); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("future version: err = %v, want ErrBadLog", err)
+	}
+}
+
+func TestPersistLogUnknownOpSkipped(t *testing.T) {
+	// A record type from a newer router, correctly framed and checksummed,
+	// is skipped — records after it still replay.
+	img := append(append([]byte{}, logMagic[:]...), logVersion)
+	img = append(img, encodeRecord(record{op: opAddBackend, name: "a", url: "http://a:1"})...)
+	unknown := []byte{99, 1, 2, 3}
+	img = append(img, byte(len(unknown)))
+	img = append(img, unknown...)
+	var crc [4]byte
+	c := crc32.ChecksumIEEE(unknown)
+	crc[0], crc[1], crc[2], crc[3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+	img = append(img, crc[:]...)
+	img = append(img, encodeRecord(record{op: opSetOwner, id: "s1", name: "a", kindPath: "sessions", collection: "paper"})...)
+
+	st, valid, err := decodeLogState(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(img) {
+		t.Errorf("valid prefix %d, want the whole %d bytes", valid, len(img))
+	}
+	if len(st.backends) != 1 || len(st.owners) != 1 {
+		t.Errorf("unknown op broke replay: %d backends, %d owners; want 1, 1", len(st.backends), len(st.owners))
+	}
+}
+
+func TestPersistLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routing.log")
+	pl, _, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.append(record{op: opAddBackend, name: "a", url: "http://a:1"})
+	// Churn far past the compaction threshold: the same owner set and
+	// reset over and over. Live state stays tiny; the journal must not
+	// grow without bound.
+	for i := 0; i < 4*2+compactSlack+64; i++ {
+		pl.append(record{op: opSetOwner, id: "s1", name: "a", kindPath: "sessions", collection: "paper"})
+	}
+	if pl.records > compactSlack {
+		t.Errorf("journal holds %d records after churn; compaction never ran", pl.records)
+	}
+	pl.Close()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot of two live records is well under a kilobyte; a journal
+	// that never compacted would be ~50KB here.
+	if fi.Size() > 4096 {
+		t.Errorf("log is %d bytes after churn, want a compacted snapshot", fi.Size())
+	}
+	pl2, st, err := openLog(path, discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl2.Close()
+	if len(st.backends) != 1 || len(st.owners) != 1 {
+		t.Errorf("compacted state: %d backends, %d owners; want 1, 1", len(st.backends), len(st.owners))
+	}
+}
+
+func TestPersistLogSnapshotDeterministic(t *testing.T) {
+	st, _, err := decodeLogState(func() []byte {
+		img := append(append([]byte{}, logMagic[:]...), logVersion)
+		for _, r := range testRecords() {
+			img = append(img, encodeRecord(r)...)
+		}
+		return img
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := encodeLogSnapshot(st), encodeLogSnapshot(st)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("snapshot encoding is not deterministic")
+	}
+	st2, valid, err := decodeLogState(a)
+	if err != nil || valid != len(a) {
+		t.Fatalf("snapshot does not round-trip: valid %d/%d, err %v", valid, len(a), err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Errorf("snapshot round-trip diverged: %+v vs %+v", st, st2)
+	}
+}

@@ -19,11 +19,14 @@
 //
 // The router holds no discovery state of its own: everything it tracks is
 // the ID → backend affinity table, rebuilt from traffic, dropped on
-// DELETE/expiry. Engines remain the source of truth.
+// DELETE/expiry — plus, for fault tolerance, each resource's last-known
+// snapshot (resurrect.go). Engines remain the source of truth; the router's
+// own routing state can be made durable with WithPersist (persist.go), and
+// backend liveness is tracked by the active health loop (health.go) with
+// retry/timeout discipline on every proxy path (retry.go).
 package router
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -33,6 +36,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -53,6 +57,13 @@ const maxProxyBody = 64 << 20
 // the backend name.
 var ErrNoBackend = errors.New("router: no backend")
 
+// ErrBackendExists reports AddBackend re-registering a name that is already
+// present under the identical URL. Callers replaying static -route flags
+// over a persisted backend set (cmd/setdiscd restart) classify it with
+// errors.Is and move on; a name collision with a *different* URL is a plain
+// error, never this sentinel.
+var ErrBackendExists = errors.New("router: backend already registered")
+
 // Option configures a Router.
 type Option func(*Router)
 
@@ -61,7 +72,10 @@ func WithLogf(f func(format string, args ...any)) Option {
 	return func(rt *Router) { rt.logf = f }
 }
 
-// WithHTTPClient replaces the backend HTTP client (default: 30s timeout).
+// WithHTTPClient replaces the backend HTTP client. The default client has
+// no global timeout: every call site threads a per-attempt context
+// (proxyTimeout for client traffic, opTimeout for migration/warming, the
+// probe timeout for health checks), which is tighter and per-request.
 func WithHTTPClient(c *http.Client) Option {
 	return func(rt *Router) { rt.client = c }
 }
@@ -85,11 +99,19 @@ const DefaultOwnerTTL = 2 * server.DefaultTTL
 // aged-out entries.
 const ownerSweepInterval = time.Minute
 
-// backend is one discovery engine behind the router.
+// backend is one discovery engine behind the router. The health fields are
+// the probe state machine's (health.go); they are guarded by the router
+// lock like everything else here.
 type backend struct {
 	name     string
 	base     *url.URL
 	draining bool
+
+	state     healthState
+	fails     int       // consecutive probe failures (suspect counting)
+	successes int       // consecutive probe successes (recovery counting)
+	flaps     int       // recent deaths within the flap window (damping)
+	lastDeath time.Time // when the backend was last declared dead
 }
 
 // owner records where a live resource's state is held and how to address it
@@ -100,6 +122,10 @@ type owner struct {
 	kindPath   string // "sessions" or "batches"
 	collection string
 	lastSeen   time.Time
+
+	sinceSnap        int    // answered rounds since the last snapshot capture
+	resumedFrom      string // dead backend this resource was resurrected off, until announced
+	resumedQuestions int    // checkpoint question count at resurrection (-1 unknown)
 }
 
 // ringPoint is one virtual node on the consistent-hash ring.
@@ -123,23 +149,96 @@ type Router struct {
 	ownerTTL  time.Duration
 	lastSweep time.Time
 	now       func() time.Time // injectable clock for aging tests
+
+	health        HealthConfig  // probe loop tuning (health.go)
+	snaps         *snapCache    // last-known snapshots (resurrect.go)
+	snapEvery     int           // capture cadence in answered rounds
+	proxyTimeout  time.Duration // per-attempt deadline on client proxy paths
+	retryAttempts int
+	retryBase     time.Duration
+
+	persistPath string      // WithPersist target; "" = in-memory only
+	log         *persistLog // nil when persistence is off or failed
+	persistErr  error
 }
 
-// New builds an empty router; add engines with AddBackend.
+// New builds an empty router; add engines with AddBackend. With WithPersist
+// the previous incarnation's backend set and affinity table are replayed
+// from the log before New returns (check PersistError), so a restarted
+// router resumes routing every live session without a rediscovery stampede.
 func New(opts ...Option) *Router {
 	rt := &Router{
-		backends: make(map[string]*backend),
-		owners:   make(map[string]*owner),
-		client:   &http.Client{Timeout: 30 * time.Second},
-		logf:     func(string, ...any) {},
-		started:  time.Now(),
-		ownerTTL: DefaultOwnerTTL,
-		now:      time.Now,
+		backends:      make(map[string]*backend),
+		owners:        make(map[string]*owner),
+		client:        &http.Client{},
+		logf:          func(string, ...any) {},
+		started:       time.Now(),
+		ownerTTL:      DefaultOwnerTTL,
+		now:           time.Now,
+		health:        HealthConfig{}.withDefaults(),
+		snaps:         newSnapCache(DefaultSnapshotCache),
+		snapEvery:     DefaultSnapshotEvery,
+		proxyTimeout:  DefaultProxyTimeout,
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
 	}
 	for _, o := range opts {
 		o(rt)
 	}
+	if rt.persistPath != "" {
+		rt.loadPersisted()
+	}
 	return rt
+}
+
+// loadPersisted opens the WithPersist log, adopts its replayed state, and
+// keeps the handle for journaling. Failures disable persistence (recorded
+// in PersistError) but never the router.
+func (rt *Router) loadPersisted() {
+	log, st, err := openLog(rt.persistPath, rt.logf)
+	if err != nil {
+		rt.persistErr = err
+		rt.logf("router: persistence disabled: %v", err)
+		return
+	}
+	rt.log = log
+	now := rt.now()
+	names := make([]string, 0, len(st.backends))
+	for name := range st.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	adopted := 0
+	for _, name := range names {
+		lb := st.backends[name]
+		u, err := url.Parse(lb.url)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			rt.logf("router: persist log: dropping backend %q with invalid URL %q", name, lb.url)
+			continue
+		}
+		rt.backends[name] = &backend{name: name, base: u, draining: lb.draining}
+		adopted++
+	}
+	rt.rebuildRingLocked()
+	owners := 0
+	for id, lo := range st.owners {
+		b, ok := rt.backends[lo.backend]
+		if !ok {
+			continue
+		}
+		rt.owners[id] = &owner{b: b, kindPath: lo.kindPath, collection: lo.collection, lastSeen: now}
+		owners++
+	}
+	if adopted+owners > 0 {
+		rt.logf("router: replayed persist log %s: %d backend(s), %d affinity entries", rt.persistPath, adopted, owners)
+	}
+}
+
+// persistOwnerLocked journals an affinity entry; callers hold rt.mu (the
+// log's own lock orders after it).
+func (rt *Router) persistOwnerLocked(id string, own *owner) {
+	rt.log.append(record{op: opSetOwner, id: id, name: own.b.name,
+		kindPath: own.kindPath, collection: own.collection})
 }
 
 // sweepOwnersLocked drops affinity entries that have seen no traffic for
@@ -153,6 +252,8 @@ func (rt *Router) sweepOwnersLocked(now time.Time) {
 	for id, own := range rt.owners {
 		if now.Sub(own.lastSeen) > rt.ownerTTL {
 			delete(rt.owners, id)
+			rt.snaps.drop(id)
+			rt.log.append(record{op: opDropOwner, id: id})
 		}
 	}
 }
@@ -178,13 +279,17 @@ func (rt *Router) AddBackend(name, rawURL string) error {
 		return fmt.Errorf("router: invalid backend URL %q", rawURL)
 	}
 	rt.mu.Lock()
-	if _, ok := rt.backends[name]; ok {
+	if prev, ok := rt.backends[name]; ok {
 		rt.mu.Unlock()
-		return fmt.Errorf("router: backend %q already registered", name)
+		if prev.base.String() == u.String() {
+			return fmt.Errorf("%w: %q", ErrBackendExists, name)
+		}
+		return fmt.Errorf("router: backend %q already registered with different URL %s", name, prev.base)
 	}
 	nb := &backend{name: name, base: u}
 	rt.backends[name] = nb
 	rt.rebuildRingLocked()
+	rt.log.append(record{op: opAddBackend, name: name, url: u.String()})
 	moves := rt.misplacedLocked()
 	var peers []*backend
 	for _, b := range rt.backends {
@@ -230,17 +335,12 @@ func (rt *Router) warmBackend(dst *backend, peers []*backend) {
 
 // listCollections fetches a backend's collection registry.
 func (rt *Router) listCollections(b *backend) ([]server.CollectionInfo, error) {
-	resp, err := rt.client.Get(b.base.JoinPath("v1", "collections").String())
+	status, body, err := rt.doProxy(context.Background(), http.MethodGet, b, "/v1/collections", "", "", nil, opTimeout)
 	if err != nil {
 		return nil, err
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
-	resp.Body.Close()
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("backend answered %d: %s", resp.StatusCode, trim(body))
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("backend answered %d: %s", status, trim(body))
 	}
 	var cols []server.CollectionInfo
 	if err := json.Unmarshal(body, &cols); err != nil {
@@ -252,35 +352,20 @@ func (rt *Router) listCollections(b *backend) ([]server.CollectionInfo, error) {
 // copyCacheShard exports one collection's hot selection-cache shard from
 // src and imports it on dst, returning how many entries dst merged.
 func (rt *Router) copyCacheShard(src, dst *backend, collection string) (int, error) {
-	expURL := src.base.JoinPath("v1", "cache", "shard")
-	expURL.RawQuery = url.Values{"collection": {collection}}.Encode()
-	resp, err := rt.client.Get(expURL.String())
+	q := url.Values{"collection": {collection}}.Encode()
+	status, shard, err := rt.doProxy(context.Background(), http.MethodGet, src, "/v1/cache/shard", q, "", nil, opTimeout)
 	if err != nil {
 		return 0, fmt.Errorf("export: %w", err)
 	}
-	shard, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
-	resp.Body.Close()
-	if err != nil {
-		return 0, fmt.Errorf("export: %w", err)
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("export: backend answered %d: %s", status, trim(shard))
 	}
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("export: backend answered %d: %s", resp.StatusCode, trim(shard))
-	}
-	impURL := dst.base.JoinPath("v1", "cache", "shard")
-	impURL.RawQuery = url.Values{"collection": {collection}}.Encode()
-	req, err := http.NewRequest(http.MethodPut, impURL.String(), bytes.NewReader(shard))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	iresp, err := rt.client.Do(req)
+	istatus, ibody, err := rt.doProxy(context.Background(), http.MethodPut, dst, "/v1/cache/shard", q, "application/octet-stream", shard, opTimeout)
 	if err != nil {
 		return 0, fmt.Errorf("import: %w", err)
 	}
-	ibody, _ := io.ReadAll(io.LimitReader(iresp.Body, maxProxyBody))
-	iresp.Body.Close()
-	if iresp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("import: backend answered %d: %s", iresp.StatusCode, trim(ibody))
+	if istatus != http.StatusOK {
+		return 0, fmt.Errorf("import: backend answered %d: %s", istatus, trim(ibody))
 	}
 	var ack server.CacheShardImportResponse
 	if err := json.Unmarshal(ibody, &ack); err != nil {
@@ -309,6 +394,7 @@ func (rt *Router) Drain(name string) (int, error) {
 		return 0, fmt.Errorf("router: cannot drain %q: no other live backend", name)
 	}
 	moves := rt.misplacedLocked()
+	rt.log.append(record{op: opSetDraining, name: name, flag: true})
 	rt.mu.Unlock()
 	return rt.migrateAll(moves), nil
 }
@@ -327,18 +413,24 @@ func (rt *Router) RemoveBackend(name string) error {
 	for id, own := range rt.owners {
 		if own.b == b {
 			delete(rt.owners, id)
+			rt.snaps.drop(id)
 		}
 	}
 	rt.rebuildRingLocked()
+	// One remove record: the log mirror cascades the owner drops.
+	rt.log.append(record{op: opRemoveBackend, name: name})
 	return nil
 }
 
-// rebuildRingLocked recomputes the virtual-node ring over the non-draining
-// backends.
+// rebuildRingLocked recomputes the virtual-node ring over the backends
+// eligible for placement: not draining, and not declared dead (or still
+// working their way back through recovery) by the health loop. A suspect
+// backend stays in the ring — that is the flap damping: it keeps serving
+// until the failure streak crosses the threshold.
 func (rt *Router) rebuildRingLocked() {
 	rt.ring = rt.ring[:0]
 	for _, b := range rt.backends {
-		if b.draining {
+		if b.draining || b.state == stateDead || b.state == stateRecovering {
 			continue
 		}
 		for i := 0; i < vnodes; i++ {
@@ -428,62 +520,56 @@ func (rt *Router) migrateAll(moves []move) int {
 // migrate moves one live resource between engines through the portable
 // state protocol: export from the old owner, import under the same ID on
 // the new one, delete the original. A session that already expired is
-// simply forgotten.
+// simply forgotten. The freshly exported state also refreshes the
+// last-known snapshot cache — the "on demand at drain" capture, so a later
+// crash of the destination resurrects from at worst this checkpoint.
 func (rt *Router) migrate(m move) (bool, error) {
-	stateURL := m.src.base.JoinPath("v1", m.kindPath, m.id, "state")
-	resp, err := rt.client.Get(stateURL.String())
+	ctx := context.Background()
+	status, body, err := rt.doProxy(ctx, http.MethodGet, m.src, "/v1/"+m.kindPath+"/"+m.id+"/state", "", "", nil, opTimeout)
 	if err != nil {
 		return false, fmt.Errorf("export: %w", err)
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
-	resp.Body.Close()
-	if err != nil {
-		return false, fmt.Errorf("export: %w", err)
-	}
-	if resp.StatusCode == http.StatusNotFound {
+	if status == http.StatusNotFound {
 		// Expired or deleted behind our back: nothing to move.
 		rt.dropOwner(m.id)
 		return false, nil
 	}
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("export: backend answered %d: %s", resp.StatusCode, trim(body))
+	if status != http.StatusOK {
+		return false, fmt.Errorf("export: backend answered %d: %s", status, trim(body))
 	}
 	var state server.StateResponse
 	if err := json.Unmarshal(body, &state); err != nil {
 		return false, fmt.Errorf("export: %w", err)
 	}
+	rt.snaps.put(snapEntry{
+		id: m.id, collection: state.Collection, kindPath: m.kindPath,
+		state: state.State, questions: -1, captured: rt.now(),
+	})
 	importBody, err := json.Marshal(server.ImportStateRequest{Collection: state.Collection, State: state.State})
 	if err != nil {
 		return false, err
 	}
-	importURL := m.dest.base.JoinPath("v1", m.kindPath, m.id, "state")
-	req, err := http.NewRequest(http.MethodPut, importURL.String(), bytes.NewReader(importBody))
-	if err != nil {
-		return false, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	iresp, err := rt.client.Do(req)
+	// The import PUT re-sends the same snapshot under the same ID —
+	// idempotent, so it rides the retry policy.
+	istatus, ibody, err := rt.proxyRetry(ctx, http.MethodPut, func() *backend { return m.dest },
+		"/v1/"+m.kindPath+"/"+m.id+"/state", "", "application/json", importBody, opTimeout)
 	if err != nil {
 		return false, fmt.Errorf("import: %w", err)
 	}
-	ibody, _ := io.ReadAll(io.LimitReader(iresp.Body, maxProxyBody))
-	iresp.Body.Close()
-	if iresp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("import: backend answered %d: %s", iresp.StatusCode, trim(ibody))
+	if istatus != http.StatusOK {
+		return false, fmt.Errorf("import: backend answered %d: %s", istatus, trim(ibody))
 	}
 	rt.mu.Lock()
 	if own, ok := rt.owners[m.id]; ok && own.b == m.src {
 		own.b = m.dest
+		rt.persistOwnerLocked(m.id, own)
 	}
 	rt.mu.Unlock()
 	// Best-effort: remove the original so the drained engine frees its slot
 	// (and a half-dead engine cannot serve a stale twin if traffic somehow
 	// reaches it directly).
-	delURL := m.src.base.JoinPath("v1", m.kindPath, m.id)
-	if delReq, err := http.NewRequest(http.MethodDelete, delURL.String(), nil); err == nil {
-		if dresp, derr := rt.client.Do(delReq); derr == nil {
-			dresp.Body.Close()
-		}
+	if dstatus, _, derr := rt.doProxy(ctx, http.MethodDelete, m.src, "/v1/"+m.kindPath+"/"+m.id, "", "", nil, opTimeout); derr != nil || dstatus >= 300 {
+		rt.logf("router: deleting migrated %s %s from %s: status %d, %v", kindNoun(m.kindPath), m.id, m.src.name, dstatus, derr)
 	}
 	return true, nil
 }
@@ -496,10 +582,19 @@ func trim(b []byte) string {
 	return s
 }
 
+// readAllBounded buffers a request or response body under the proxy cap.
+func readAllBounded(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, maxProxyBody))
+}
+
+// dropOwner forgets a resource completely: affinity entry, cached snapshot,
+// and the journal record that would resurrect either on restart.
 func (rt *Router) dropOwner(id string) {
 	rt.mu.Lock()
 	delete(rt.owners, id)
+	rt.log.append(record{op: opDropOwner, id: id})
 	rt.mu.Unlock()
+	rt.snaps.drop(id)
 }
 
 // Handler returns the router's HTTP handler: the full engine protocol
@@ -523,19 +618,32 @@ func (rt *Router) Handler() http.Handler {
 }
 
 // handleCreate places a new session or batch on the collection's ring owner
-// and learns the minted ID from the response, establishing affinity.
+// and learns the minted ID from the response, establishing affinity. The
+// forwarded request always asks for an inline snapshot, so a resource is
+// resurrectable from the moment it exists — a crash before the first answer
+// loses nothing. Creation is non-idempotent (each attempt mints a new ID),
+// so it is single-shot: failures degrade to a structured error carrying
+// Retry-After advice rather than silently minting twins.
 func (rt *Router) handleCreate(kindPath string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		collection := r.PathValue("collection")
+		reqBody, err := readAllBounded(r.Body)
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		rt.mu.RLock()
 		b := rt.ringOwnerLocked(collection)
 		rt.mu.RUnlock()
 		if b == nil {
-			rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+			rt.writeUnavailable(w, errNoLiveBackend)
 			return
 		}
-		status, body, err := rt.forward(r, b)
+		rawQuery, strip := addIncludeState(r.URL.RawQuery)
+		status, body, err := rt.doProxy(r.Context(), r.Method, b, r.URL.Path, rawQuery,
+			r.Header.Get("Content-Type"), reqBody, rt.proxyTimeout)
 		if err != nil {
+			w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
 			rt.writeError(w, http.StatusBadGateway, err)
 			return
 		}
@@ -552,9 +660,12 @@ func (rt *Router) handleCreate(kindPath string) http.HandlerFunc {
 				if id != "" {
 					rt.mu.Lock()
 					now := rt.now()
-					rt.owners[id] = &owner{b: b, kindPath: kindPath, collection: collection, lastSeen: now}
+					own := &owner{b: b, kindPath: kindPath, collection: collection, lastSeen: now}
+					rt.owners[id] = own
+					rt.persistOwnerLocked(id, own)
 					rt.sweepOwnersLocked(now)
 					rt.mu.Unlock()
+					body = rt.captureInline(id, collection, kindPath, body, strip)
 				}
 			}
 		}
@@ -565,15 +676,36 @@ func (rt *Router) handleCreate(kindPath string) http.HandlerFunc {
 // handleResource forwards session/batch traffic to the backend that owns
 // the ID. A 404 from the backend (expired) or a DELETE drops the affinity
 // entry; an untracked ID is answered 404 without bothering any engine.
+//
+// The method decides the failure policy. GET/PUT/DELETE are idempotent and
+// ride the retry loop, re-resolving the owner before every attempt — a
+// resurrection or recovery mid-retry redirects the next attempt to the new
+// owner. POST (answers) is single-shot: a lost response leaves the answer's
+// fate unknown, so the client must disambiguate by re-fetching the question
+// rather than the router re-sending blind. Answer rounds also carry the
+// snapshot piggyback every SnapshotEvery rounds (resurrect.go), and any
+// response after a crash resurrection is stamped with the ResumedHeader.
 func (rt *Router) handleResource(kindPath string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		reqBody, err := readAllBounded(r.Body)
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		rt.mu.Lock()
 		own, ok := rt.owners[id]
 		var b *backend
+		var collection string
+		dead, wantSnap := false, false
 		if ok && own.kindPath == kindPath {
 			b = own.b
+			collection = own.collection
+			dead = b.state == stateDead
 			own.lastSeen = rt.now() // active sessions never age out
+			if r.Method == http.MethodPost {
+				wantSnap = rt.wantSnapshotLocked(own, id)
+			}
 		}
 		rt.mu.Unlock()
 		if b == nil {
@@ -581,76 +713,167 @@ func (rt *Router) handleResource(kindPath string) http.HandlerFunc {
 			// the router has never seen — an external restore. Place it by
 			// the collection named in the body.
 			if r.Method == http.MethodPut && strings.HasSuffix(r.URL.Path, "/state") {
-				rt.handleExternalImport(w, r, kindPath, id)
+				rt.handleExternalImport(w, r, kindPath, id, reqBody)
 				return
 			}
 			rt.writeError(w, http.StatusNotFound, fmt.Errorf("unknown or expired %s", strings.TrimSuffix(kindPath, "s")))
 			return
 		}
-		status, body, err := rt.forward(r, b)
-		if err != nil {
-			rt.writeError(w, http.StatusBadGateway, err)
-			return
+		rawQuery, strip := r.URL.RawQuery, false
+		if wantSnap {
+			rawQuery, strip = addIncludeState(rawQuery)
+		}
+		contentType := r.Header.Get("Content-Type")
+		var status int
+		var body []byte
+		if r.Method == http.MethodPost {
+			if dead {
+				// The owner is down and this session has not (yet) been
+				// resurrected elsewhere: degrade gracefully instead of
+				// blind-firing a non-idempotent answer at a corpse.
+				rt.writeUnavailable(w, fmt.Errorf("backend %s holding %s %s is down",
+					b.name, kindNoun(kindPath), id))
+				return
+			}
+			status, body, err = rt.doProxy(r.Context(), r.Method, b, r.URL.Path, rawQuery,
+				contentType, reqBody, rt.proxyTimeout)
+			if err != nil {
+				w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+				rt.writeError(w, http.StatusBadGateway, err)
+				return
+			}
+		} else {
+			resolve := func() *backend {
+				rt.mu.RLock()
+				defer rt.mu.RUnlock()
+				cur, ok := rt.owners[id]
+				if !ok || cur.kindPath != kindPath || cur.b.state == stateDead {
+					return nil
+				}
+				return cur.b
+			}
+			status, body, err = rt.proxyRetry(r.Context(), r.Method, resolve, r.URL.Path, rawQuery,
+				contentType, reqBody, rt.proxyTimeout)
+			if err != nil {
+				if errors.Is(err, errNoLiveBackend) {
+					rt.writeUnavailable(w, fmt.Errorf("backend holding %s %s is down",
+						kindNoun(kindPath), id))
+				} else {
+					rt.writeError(w, http.StatusBadGateway, err)
+				}
+				return
+			}
+		}
+		if status == http.StatusOK {
+			if wantSnap {
+				body = rt.captureInline(id, collection, kindPath, body, strip)
+			} else if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/state") {
+				// Opportunistic: a state export passing through is the
+				// freshest checkpoint we can have — cache it as-is.
+				var state server.StateResponse
+				if json.Unmarshal(body, &state) == nil && len(state.State) > 0 {
+					rt.snaps.put(snapEntry{
+						id: id, collection: state.Collection, kindPath: kindPath,
+						state: state.State, questions: -1, captured: rt.now(),
+					})
+				}
+			}
 		}
 		if status == http.StatusNotFound || (r.Method == http.MethodDelete && status < 300) {
 			rt.dropOwner(id)
 		}
+		rt.markResumed(w, id)
 		writeRaw(w, status, body)
 	}
 }
 
 // handleExternalImport routes a PUT …/state for an ID the router does not
 // know: the body names the collection, whose ring owner receives the
-// import, and the router starts tracking the ID.
-func (rt *Router) handleExternalImport(w http.ResponseWriter, r *http.Request, kindPath, id string) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
-	if err != nil {
-		rt.writeError(w, http.StatusBadRequest, err)
-		return
-	}
+// import, and the router starts tracking the ID. The import re-sends the
+// same snapshot bytes on every attempt, so it rides the retry policy; the
+// imported state doubles as the resource's first cached checkpoint.
+func (rt *Router) handleExternalImport(w http.ResponseWriter, r *http.Request, kindPath, id string, body []byte) {
 	var req struct {
 		Collection string `json:"collection"`
+		State      []byte `json:"state"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil || req.Collection == "" {
 		rt.writeError(w, http.StatusBadRequest, errors.New("state import needs a JSON body naming its collection"))
 		return
 	}
-	rt.mu.RLock()
-	b := rt.ringOwnerLocked(req.Collection)
-	rt.mu.RUnlock()
-	if b == nil {
-		rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
-		return
+	resolve := func() *backend {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		return rt.ringOwnerLocked(req.Collection)
 	}
-	status, respBody, err := rt.forwardBody(r, b, body)
+	var b *backend
+	status, respBody, err := rt.proxyRetry(r.Context(), r.Method, func() *backend {
+		b = resolve()
+		return b
+	}, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, opTimeout)
 	if err != nil {
-		rt.writeError(w, http.StatusBadGateway, err)
+		if errors.Is(err, errNoLiveBackend) {
+			rt.writeUnavailable(w, err)
+		} else {
+			rt.writeError(w, http.StatusBadGateway, err)
+		}
 		return
 	}
 	if status == http.StatusOK {
 		rt.mu.Lock()
-		rt.owners[id] = &owner{b: b, kindPath: kindPath, collection: req.Collection, lastSeen: rt.now()}
+		own := &owner{b: b, kindPath: kindPath, collection: req.Collection, lastSeen: rt.now()}
+		rt.owners[id] = own
+		rt.persistOwnerLocked(id, own)
 		rt.mu.Unlock()
+		if len(req.State) > 0 {
+			rt.snaps.put(snapEntry{
+				id: id, collection: req.Collection, kindPath: kindPath,
+				state: req.State, questions: -1, captured: rt.now(),
+			})
+		}
 	}
 	writeRaw(w, status, respBody)
 }
 
-// handleAnyBackend serves registry-level reads from any live backend (all
-// engines register the same collections in a homogeneous fleet).
+// handleAnyBackend serves registry-level traffic from any live backend (all
+// engines register the same collections in a homogeneous fleet). Reads are
+// retried across ring changes; writes (collection registration) stay
+// single-shot.
 func (rt *Router) handleAnyBackend(w http.ResponseWriter, r *http.Request) {
-	rt.mu.RLock()
-	var b *backend
-	if len(rt.ring) > 0 {
-		b = rt.ring[0].b
-	}
-	rt.mu.RUnlock()
-	if b == nil {
-		rt.writeError(w, http.StatusServiceUnavailable, errors.New("no live backend"))
+	reqBody, err := readAllBounded(r.Body)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	status, body, err := rt.forward(r, b)
+	resolve := func() *backend {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		if len(rt.ring) > 0 {
+			return rt.ring[0].b
+		}
+		return nil
+	}
+	contentType := r.Header.Get("Content-Type")
+	var status int
+	var body []byte
+	if r.Method == http.MethodGet {
+		status, body, err = rt.proxyRetry(r.Context(), r.Method, resolve, r.URL.Path, r.URL.RawQuery,
+			contentType, reqBody, rt.proxyTimeout)
+	} else {
+		b := resolve()
+		if b == nil {
+			rt.writeUnavailable(w, errNoLiveBackend)
+			return
+		}
+		status, body, err = rt.doProxy(r.Context(), r.Method, b, r.URL.Path, r.URL.RawQuery,
+			contentType, reqBody, rt.proxyTimeout)
+	}
 	if err != nil {
-		rt.writeError(w, http.StatusBadGateway, err)
+		if errors.Is(err, errNoLiveBackend) {
+			rt.writeUnavailable(w, err)
+		} else {
+			rt.writeError(w, http.StatusBadGateway, err)
+		}
 		return
 	}
 	writeRaw(w, status, body)
@@ -679,8 +902,11 @@ const statsProbeTimeout = 2 * time.Second
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	rt.mu.RLock()
 	backends := make([]*backend, 0, len(rt.backends))
+	rows := make(map[string]BackendStats, len(rt.backends))
 	for _, b := range rt.backends {
 		backends = append(backends, b)
+		rows[b.name] = BackendStats{Name: b.name, URL: b.base.String(),
+			Draining: b.draining, Health: b.state.String()}
 	}
 	tracked := len(rt.owners)
 	rt.mu.RUnlock()
@@ -694,7 +920,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	var wg sync.WaitGroup
 	for i, b := range backends {
-		resp.Backends[i] = BackendStats{Name: b.name, URL: b.base.String(), Draining: b.draining}
+		resp.Backends[i] = rows[b.name]
 		wg.Add(1)
 		go func(row *BackendStats, b *backend) {
 			defer wg.Done()
@@ -750,7 +976,7 @@ func (rt *Router) handleListBackends(w http.ResponseWriter, r *http.Request) {
 	for _, b := range rt.backends {
 		out = append(out, BackendStats{
 			Name: b.name, URL: b.base.String(), Draining: b.draining,
-			Sessions: counts[b.name],
+			Health: b.state.String(), Sessions: counts[b.name],
 		})
 	}
 	rt.mu.RUnlock()
@@ -770,39 +996,6 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DrainResponse{Backend: name, Migrated: migrated})
-}
-
-// forward replays the incoming request against a backend, buffering the
-// request body first.
-func (rt *Router) forward(r *http.Request, b *backend) (int, []byte, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
-	if err != nil {
-		return 0, nil, err
-	}
-	return rt.forwardBody(r, b, body)
-}
-
-// forwardBody replays the request with an explicit body.
-func (rt *Router) forwardBody(r *http.Request, b *backend, body []byte) (int, []byte, error) {
-	target := b.base.JoinPath(r.URL.Path)
-	target.RawQuery = r.URL.RawQuery
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target.String(), bytes.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	if ct := r.Header.Get("Content-Type"); ct != "" {
-		req.Header.Set("Content-Type", ct)
-	}
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return 0, nil, fmt.Errorf("backend %s unreachable: %w", b.name, err)
-	}
-	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
-	if err != nil {
-		return 0, nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
-	}
-	return resp.StatusCode, respBody, nil
 }
 
 func writeRaw(w http.ResponseWriter, status int, body []byte) {
@@ -844,12 +1037,16 @@ type RouterStatsResponse struct {
 }
 
 // BackendStats is one engine's row in the fleet view; its cache counters
-// are summed over the engine's collections.
+// are summed over the engine's collections. Health is the probe state
+// machine's verdict (healthy/suspect/dead/recovering); Alive is this
+// request's own stats-probe outcome — the two can disagree for at most one
+// probe round.
 type BackendStats struct {
 	Name            string `json:"name"`
 	URL             string `json:"url"`
 	Alive           bool   `json:"alive"`
 	Draining        bool   `json:"draining"`
+	Health          string `json:"health"`
 	Sessions        int    `json:"sessions"`
 	Batches         int    `json:"batches"`
 	LiveDiscoveries int    `json:"live_discoveries"`

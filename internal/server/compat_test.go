@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -225,7 +226,7 @@ func TestCompatVersionedAliasEquivalence(t *testing.T) {
 	if code := do(t, "GET", ts.URL+"/sessions/"+q.SessionID+"/question", nil, &legacyQ); code != http.StatusOK {
 		t.Fatalf("legacy question: status %d", code)
 	}
-	if v1Q != legacyQ {
+	if !reflect.DeepEqual(v1Q, legacyQ) {
 		t.Errorf("surfaces diverged: v1 %+v, legacy %+v", v1Q, legacyQ)
 	}
 	// Answer through v1, observe through legacy.

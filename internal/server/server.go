@@ -110,6 +110,15 @@ func WithSessionOptions(opts ...setdiscovery.Option) Option {
 	return func(s *Server) { s.sessionOpts = append(s.sessionOpts, opts...) }
 }
 
+// WithFaultHook installs a request interceptor ahead of every handler: a
+// non-nil return fails the request with a 500 before any state is touched.
+// It exists for fault-injection testing — chaos suites use it to make a
+// live engine misbehave deterministically (fail every Nth answer, fail one
+// path) without killing the process. Production servers leave it unset.
+func WithFaultHook(hook func(*http.Request) error) Option {
+	return func(s *Server) { s.faultHook = hook }
+}
+
 // WithCachePersist stores selection-cache shards under dir: Register loads
 // each collection's persisted shard (when one exists and matches the
 // collection's content fingerprint), and PersistCaches writes the current
@@ -142,6 +151,7 @@ type Server struct {
 	sliding         bool
 	sessionOpts     []setdiscovery.Option
 	persistDir      string
+	faultHook       func(*http.Request) error
 	logf            func(format string, args ...any)
 	started         time.Time
 }
@@ -308,7 +318,16 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.routes(mux, "/v1")
 	s.routes(mux, "")
-	return mux
+	if s.faultHook == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := s.faultHook(r); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // routes mounts the full protocol under one path prefix.
@@ -508,7 +527,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, questionSnapshot(id, st))
+	// The ID is published the instant put returns, so even this first read
+	// takes the resource lock.
+	st.Mu.Lock()
+	resp := questionSnapshot(id, st)
+	resp.State = s.inlineState(r, st)
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusCreated, resp)
 }
 
 // newSessionFrom builds the requested kind of session over e. base options
@@ -571,6 +596,7 @@ func (s *Server) handleGetQuestion(w http.ResponseWriter, r *http.Request) {
 	}
 	st.Mu.Lock()
 	resp := questionSnapshot(id, st)
+	resp.State = s.inlineState(r, st)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -588,6 +614,9 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	st.Mu.Lock()
 	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm)
 	resp := questionSnapshot(id, st)
+	if err == nil {
+		resp.State = s.inlineState(r, st)
+	}
 	st.Mu.Unlock()
 	if err != nil {
 		// Stale protocol state (mismatched question assertion, answering a
@@ -660,7 +689,11 @@ func (s *Server) handleCreateBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.writeJSON(w, http.StatusCreated, batchSnapshot(id, st, nil))
+	st.Mu.Lock()
+	resp := batchSnapshot(id, st, nil)
+	resp.State = s.inlineState(r, st)
+	st.Mu.Unlock()
+	s.writeJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleBatchQuestions(w http.ResponseWriter, r *http.Request) {
@@ -670,6 +703,7 @@ func (s *Server) handleBatchQuestions(w http.ResponseWriter, r *http.Request) {
 	}
 	st.Mu.Lock()
 	resp := batchSnapshot(id, st, nil)
+	resp.State = s.inlineState(r, st)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -708,6 +742,7 @@ func (s *Server) handleBatchAnswers(w http.ResponseWriter, r *http.Request) {
 	}
 	st.EndRound()
 	resp := batchSnapshot(id, st, memberErrs)
+	resp.State = s.inlineState(r, st)
 	st.Mu.Unlock()
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -881,6 +916,24 @@ func batchSnapshot(id string, st *Stored, memberErrs map[int]string) BatchQuesti
 		})
 	}
 	return resp
+}
+
+// inlineState renders the resource's portable snapshot when the request
+// asked for one with ?include_state=1 — the piggyback a proxy tier uses to
+// checkpoint sessions on answer traffic without extra round trips. Callers
+// hold the resource lock. Snapshot failures are logged and leave the field
+// empty: the piggyback is advisory, never worth failing the interaction it
+// rode in on.
+func (s *Server) inlineState(r *http.Request, st *Stored) []byte {
+	if r.URL.Query().Get("include_state") == "" {
+		return nil
+	}
+	state, err := st.Snapshot()
+	if err != nil {
+		s.logf("server: inline state snapshot for %s: %v", r.URL.Path, err)
+		return nil
+	}
+	return state
 }
 
 // questionSnapshot renders a single session's pending interaction. Callers

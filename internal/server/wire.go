@@ -57,6 +57,11 @@ type QuestionResponse struct {
 	// Questions counts membership answers received so far (confirmation
 	// questions are counted when asked, mirroring the engine).
 	Questions int `json:"questions"`
+	// State carries the session's portable snapshot when the request asked
+	// for it with ?include_state=1 — the same bytes GET …/state exports,
+	// piggybacked so a proxy tier can checkpoint sessions on answer traffic
+	// without extra round trips. Omitted otherwise.
+	State []byte `json:"state,omitempty"`
 }
 
 // AnswerRequest replies to the pending question (POST
@@ -133,6 +138,9 @@ type BatchQuestionResponse struct {
 	BatchID string           `json:"batch_id"`
 	Done    bool             `json:"done"`
 	Members []MemberQuestion `json:"members"`
+	// State carries the batch's portable snapshot when the request asked
+	// for it with ?include_state=1; see QuestionResponse.State.
+	State []byte `json:"state,omitempty"`
 }
 
 // MemberQuestion is one member's pending interaction; the Entity/Confirm
