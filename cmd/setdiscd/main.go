@@ -6,14 +6,16 @@
 // Usage (engine mode):
 //
 //	setdiscd -collection sets.txt [-collection name=other.txt ...]
-//	         [-addr :8080] [-ttl 30m] [-sliding-ttl] [-max-sessions 16384]
+//	         [-addr :8080] [-stream-addr :8081]
+//	         [-ttl 30m] [-sliding-ttl] [-max-sessions 16384]
 //	         [-cache-bound n] [-cache-persist dir] [-max-batch-members 1024]
 //	         [-prebuild] [-strategy klp] [-k 2] [-q 10] [-metric ad|h]
 //
 // Usage (router mode — the sharding tier):
 //
 //	setdiscd -route engineA=http://host1:8080 -route engineB=http://host2:8080
-//	         [-addr :8079] [-router-persist routing.log]
+//	         [-stream-route engineA=host1:8081 -stream-route engineB=host2:8081]
+//	         [-addr :8079] [-stream-addr :8078] [-router-persist routing.log]
 //	         [-health-interval 5s] [-health-timeout 2s]
 //	         [-health-fail 3] [-health-recover 2]
 //	         [-snapshot-every 1] [-proxy-timeout 10s]
@@ -40,6 +42,15 @@
 // session→backend affinity table survive router restarts in an append-only
 // log, so a restarted router keeps routing every live session without a
 // rediscovery stampede.
+//
+// With -stream-addr the daemon additionally serves the binary streaming
+// protocol (internal/wireproto) on a second listener — one persistent TCP
+// connection multiplexes many sessions with one length-prefixed frame per
+// question/answer round, bypassing per-request HTTP overhead (see the
+// README "Wire-speed data plane" section). In router mode, -stream-route
+// name=host:port declares each backend's stream address so the router can
+// fan stream sessions out over pooled backend connections; backends
+// without a -stream-route are reachable over the JSON plane only.
 //
 // With -cache-persist the engine writes each collection's hottest
 // selection-cache shard to the named directory on graceful shutdown and
@@ -72,6 +83,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,9 +108,10 @@ func (f *collectionFlags) Set(v string) error {
 }
 
 func main() {
-	var collections, routes collectionFlags
+	var collections, routes, streamRoutes collectionFlags
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		streamAddr   = flag.String("stream-addr", "", "listen address for the binary streaming protocol (empty disables)")
 		ttl          = flag.Duration("ttl", server.DefaultTTL, "idle session lifetime")
 		slidingTTL   = flag.Bool("sliding-ttl", true, "slide a session's expiry on every touch (false = fixed deadline at creation)")
 		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "maximum live sessions (batch members included)")
@@ -122,6 +135,7 @@ func main() {
 	)
 	flag.Var(&collections, "collection", "collection to serve, as path or name=path (repeatable, required)")
 	flag.Var(&routes, "route", "run as a router over this backend engine, as name=url (repeatable; excludes -collection)")
+	flag.Var(&streamRoutes, "stream-route", "router mode: a backend's stream address, as name=host:port (repeatable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "setdiscd: ", log.LstdFlags)
@@ -130,8 +144,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "setdiscd: -route (router mode) and -collection (engine mode) are mutually exclusive")
 			os.Exit(2)
 		}
-		runRouter(logger, *addr, routes, routerConfig{
+		runRouter(logger, *addr, routes, streamRoutes, routerConfig{
 			persist:        *routerPersist,
+			streamAddr:     *streamAddr,
 			healthInterval: *healthInterval,
 			healthTimeout:  *healthTimeout,
 			healthFail:     *healthFail,
@@ -140,6 +155,10 @@ func main() {
 			proxyTimeout:   *proxyTimeout,
 		})
 		return
+	}
+	if len(streamRoutes) > 0 {
+		fmt.Fprintln(os.Stderr, "setdiscd: -stream-route requires router mode (-route)")
+		os.Exit(2)
 	}
 	if len(collections) == 0 {
 		fmt.Fprintln(os.Stderr, "setdiscd: at least one -collection (or -route) is required")
@@ -204,6 +223,15 @@ func main() {
 		}
 	}
 
+	if *streamAddr != "" {
+		ln := listenStream(logger, *streamAddr)
+		defer ln.Close()
+		go func() {
+			if err := srv.ServeStream(ln); err != nil {
+				logger.Printf("stream plane: %v", err)
+			}
+		}()
+	}
 	logger.Printf("serving on %s (session ttl %v, max %d sessions)", *addr, *ttl, *maxSessions)
 	serve(logger, *addr, srv.Handler())
 	// Graceful shutdown: flush the hot selection-cache shards so the next
@@ -216,6 +244,7 @@ func main() {
 // routerConfig carries the router-mode flags into runRouter.
 type routerConfig struct {
 	persist        string
+	streamAddr     string
 	healthInterval time.Duration
 	healthTimeout  time.Duration
 	healthFail     int
@@ -226,7 +255,7 @@ type routerConfig struct {
 
 // runRouter starts the daemon in router mode: a self-healing sharding front
 // over the named backend engines.
-func runRouter(logger *log.Logger, addr string, routes []string, cfg routerConfig) {
+func runRouter(logger *log.Logger, addr string, routes, streamRoutes []string, cfg routerConfig) {
 	opts := []router.Option{
 		router.WithLogf(logger.Printf),
 		router.WithHealth(router.HealthConfig{
@@ -263,6 +292,28 @@ func runRouter(logger *log.Logger, addr string, routes []string, cfg routerConfi
 		}
 		logger.Printf("routing to backend %q at %s", name, u)
 	}
+	// Stream routes are replayed after the backends exist; they are not
+	// persisted, so every restart re-declares them from its flags.
+	for _, spec := range streamRoutes {
+		i := strings.IndexByte(spec, '=')
+		if i <= 0 {
+			logger.Fatalf("invalid -stream-route %q: want name=host:port", spec)
+		}
+		name, sa := spec[:i], spec[i+1:]
+		if err := rt.SetBackendStream(name, sa); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("stream fan-out to backend %q at %s", name, sa)
+	}
+	if cfg.streamAddr != "" {
+		ln := listenStream(logger, cfg.streamAddr)
+		defer ln.Close()
+		go func() {
+			if err := rt.ServeStream(ln); err != nil {
+				logger.Printf("stream plane: %v", err)
+			}
+		}()
+	}
 	if cfg.healthInterval > 0 {
 		hctx, hcancel := context.WithCancel(context.Background())
 		defer hcancel()
@@ -272,6 +323,16 @@ func runRouter(logger *log.Logger, addr string, routes []string, cfg routerConfi
 	}
 	logger.Printf("routing on %s (%d backends; drain with POST /v1/router/backends/{name}/drain)", addr, len(routes))
 	serve(logger, addr, rt.Handler())
+}
+
+// listenStream opens the binary-plane listener, fatally on failure.
+func listenStream(logger *log.Logger, addr string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("stream plane: %v", err)
+	}
+	logger.Printf("streaming on %s (binary wire protocol)", ln.Addr())
+	return ln
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then shuts down

@@ -1,0 +1,436 @@
+// Command setdiscload measures discovery throughput through the full
+// serving stack on both data planes: the /v1 JSON plane and the binary
+// streaming plane (internal/wireproto). It drives complete sessions —
+// create, every question/answer round, result, with every answer checked
+// against a local oracle — and reports sessions/sec plus per-round
+// latency percentiles, side by side.
+//
+// By default it stands up an in-process fleet (-fleet engines behind one
+// dual-plane router) over a synthetic 64-set collection and loads the
+// router, so one invocation produces a self-contained comparison:
+//
+//	setdiscload -fleet 2 -sessions 1000 -concurrency 64 -markdown
+//
+// Point it at an external deployment instead with -addr (JSON base URL)
+// and -stream (stream host:port); the target must serve the same
+// synthetic collection under the name "load" (register it by running the
+// engines with a collection file produced by -dump), since answers are
+// driven by a locally derived oracle.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"setdiscovery"
+	"setdiscovery/internal/router"
+	"setdiscovery/internal/server"
+	"setdiscovery/internal/wireproto"
+)
+
+const (
+	collectionName = "load"
+	callTimeout    = 30 * time.Second
+)
+
+func main() {
+	var (
+		fleetN      = flag.Int("fleet", 2, "engines in the in-process fleet (ignored with -addr/-stream)")
+		addr        = flag.String("addr", "", "JSON plane base URL of an external deployment (empty = in-process fleet)")
+		stream      = flag.String("stream", "", "stream plane host:port of an external deployment")
+		sessions    = flag.Int("sessions", 1000, "discovery sessions to resolve per plane")
+		concurrency = flag.Int("concurrency", 64, "concurrent client workers")
+		conns       = flag.Int("conns", 8, "client stream connections the workers multiplex over")
+		mode        = flag.String("mode", "both", "which plane to load: json, stream or both")
+		seed        = flag.Int64("seed", 1, "seed for target selection")
+		markdown    = flag.Bool("markdown", false, "emit the comparison as a markdown table")
+		dump        = flag.Bool("dump", false, "print the synthetic collection in setdisc file format and exit")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "setdiscload: ", 0)
+
+	c, names := buildCollection()
+	if *dump {
+		// The canonical text format setdiscd -collection reads, for
+		// registering the workload on an external deployment.
+		if err := c.Write(os.Stdout); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	oracles := make([]setdiscovery.Oracle, len(names))
+	for i, name := range names {
+		o, err := c.TargetOracle(name)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		oracles[i] = o
+	}
+
+	jsonURL, streamAddr := *addr, *stream
+	if jsonURL == "" && streamAddr == "" {
+		f, err := startFleet(logger, *fleetN, c)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer f.close()
+		jsonURL, streamAddr = f.httpURL, f.streamAddr
+		logger.Printf("in-process fleet: %d engines, router JSON %s, stream %s", *fleetN, jsonURL, streamAddr)
+	}
+
+	var results []stats
+	if *mode == "json" || *mode == "both" {
+		if jsonURL == "" {
+			logger.Fatal("-mode json needs -addr")
+		}
+		st, err := runJSON(jsonURL, *sessions, *concurrency, *seed, names, oracles)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		results = append(results, st)
+	}
+	if *mode == "stream" || *mode == "both" {
+		if streamAddr == "" {
+			logger.Fatal("-mode stream needs -stream")
+		}
+		st, err := runStream(streamAddr, *sessions, *concurrency, *conns, *seed, names, oracles)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		results = append(results, st)
+	}
+	report(os.Stdout, *markdown, *sessions, *concurrency, results)
+}
+
+// stats is one plane's aggregate outcome.
+type stats struct {
+	plane    string
+	sessions int
+	elapsed  time.Duration
+	rounds   []time.Duration // one sample per answer round-trip, sorted
+}
+
+func (s stats) perSec() float64 { return float64(s.sessions) / s.elapsed.Seconds() }
+
+func (s stats) percentile(p float64) time.Duration {
+	if len(s.rounds) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(s.rounds)-1) + 0.5)
+	return s.rounds[i]
+}
+
+// run distributes `sessions` resolutions over `concurrency` workers, each
+// resolving via the plane-specific resolve callback, and aggregates the
+// per-round latency samples.
+func run(plane string, sessions, concurrency int, seed int64, resolve func(worker int, rng *rand.Rand) ([]time.Duration, error)) (stats, error) {
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		rounds   []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var local []time.Duration
+			for int(next.Add(1)) <= sessions {
+				rts, err := resolve(w, rng)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, rts...)
+			}
+			mu.Lock()
+			rounds = append(rounds, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return stats{}, fmt.Errorf("%s plane: %w", plane, firstErr)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	return stats{plane: plane, sessions: sessions, elapsed: elapsed, rounds: rounds}, nil
+}
+
+// runJSON loads the /v1 JSON plane: one tuned shared http.Client, one
+// POST per answer round.
+func runJSON(base string, sessions, concurrency int, seed int64, names []string, oracles []setdiscovery.Oracle) (stats, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        0,
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	defer client.CloseIdleConnections()
+	return run("json", sessions, concurrency, seed, func(_ int, rng *rand.Rand) ([]time.Duration, error) {
+		target := rng.Intn(len(names))
+		return resolveJSON(client, base, names[target], oracles[target])
+	})
+}
+
+func resolveJSON(client *http.Client, base, want string, oracle setdiscovery.Oracle) ([]time.Duration, error) {
+	post := func(url string, body []byte, out any) error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	var q server.QuestionResponse
+	if err := post(base+"/v1/collections/"+collectionName+"/sessions", nil, &q); err != nil {
+		return nil, err
+	}
+	var rounds []time.Duration
+	for i := 0; !q.Done; i++ {
+		if i > 200 {
+			return nil, fmt.Errorf("JSON session did not converge on %s", want)
+		}
+		req := server.AnswerRequest{Entity: q.Entity, Confirm: q.Confirm, Answer: "no"}
+		switch {
+		case q.Entity != "":
+			if oracle.Answer(q.Entity) == setdiscovery.Yes {
+				req.Answer = "yes"
+			}
+		case q.Confirm == want:
+			req.Answer = "yes"
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := post(base+"/v1/sessions/"+q.SessionID+"/answer", body, &q); err != nil {
+			return nil, err
+		}
+		rounds = append(rounds, time.Since(t0))
+	}
+	var res server.ResultResponse
+	resp, err := client.Get(base + "/v1/sessions/" + q.SessionID + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	if res.Target != want {
+		return nil, fmt.Errorf("JSON plane discovered %q, want %q", res.Target, want)
+	}
+	return rounds, nil
+}
+
+// runStream loads the binary plane: `conns` persistent connections shared
+// by all workers, one multiplexed channel per session, one frame exchange
+// per answer round.
+func runStream(addr string, sessions, concurrency, conns int, seed int64, names []string, oracles []setdiscovery.Oracle) (stats, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	clients := make([]*wireproto.Client, conns)
+	for i := range clients {
+		c, err := wireproto.Dial(addr, callTimeout)
+		if err != nil {
+			return stats{}, fmt.Errorf("dialing stream plane: %w", err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	return run("stream", sessions, concurrency, seed, func(w int, rng *rand.Rand) ([]time.Duration, error) {
+		target := rng.Intn(len(names))
+		return resolveStream(clients[w%conns], names[target], oracles[target])
+	})
+}
+
+func resolveStream(c *wireproto.Client, want string, oracle setdiscovery.Oracle) ([]time.Duration, error) {
+	s := c.OpenStream()
+	defer s.Close()
+	q, err := s.Create(&wireproto.Create{Collection: collectionName}, callTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var rounds []time.Duration
+	for i := 0; !q.Done; i++ {
+		if i > 200 {
+			return nil, fmt.Errorf("stream session did not converge on %s", want)
+		}
+		mq := q.Members[0]
+		ans := &wireproto.Answer{Entity: mq.Entity, Confirm: mq.Confirm, Answer: "no"}
+		switch {
+		case mq.Entity != "":
+			if oracle.Answer(mq.Entity) == setdiscovery.Yes {
+				ans.Answer = "yes"
+			}
+		case mq.Confirm == want:
+			ans.Answer = "yes"
+		}
+		t0 := time.Now()
+		if q, err = s.Answer(ans, callTimeout); err != nil {
+			return nil, err
+		}
+		rounds = append(rounds, time.Since(t0))
+	}
+	res, err := s.Result(callTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if got := res.Members[0].Target; got != want {
+		return nil, fmt.Errorf("stream plane discovered %q, want %q", got, want)
+	}
+	return rounds, nil
+}
+
+// fleet is the in-process deployment: N dual-plane engines behind one
+// dual-plane router.
+type fleet struct {
+	httpURL    string
+	streamAddr string
+	closers    []func()
+}
+
+func (f *fleet) close() {
+	for i := len(f.closers) - 1; i >= 0; i-- {
+		f.closers[i]()
+	}
+}
+
+func startFleet(logger *log.Logger, n int, c *setdiscovery.Collection) (*fleet, error) {
+	if n < 1 {
+		n = 1
+	}
+	f := &fleet{}
+	rt := router.New(router.WithLogf(logger.Printf))
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("engine%d", i)
+		srv := server.New(server.WithLogf(logger.Printf))
+		if err := srv.Register(collectionName, c); err != nil {
+			return nil, err
+		}
+		httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(httpLn)
+		f.closers = append(f.closers, func() { hs.Close() })
+
+		streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.ServeStream(streamLn)
+		f.closers = append(f.closers, func() { streamLn.Close() })
+
+		if err := rt.AddBackend(name, "http://"+httpLn.Addr().String()); err != nil {
+			return nil, err
+		}
+		if err := rt.SetBackendStream(name, streamLn.Addr().String()); err != nil {
+			return nil, err
+		}
+	}
+	frontLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fhs := &http.Server{Handler: rt.Handler()}
+	go fhs.Serve(frontLn)
+	f.closers = append(f.closers, func() { fhs.Close() })
+	f.httpURL = "http://" + frontLn.Addr().String()
+
+	frontStream, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go rt.ServeStream(frontStream)
+	f.closers = append(f.closers, func() { frontStream.Close() })
+	f.streamAddr = frontStream.Addr().String()
+	return f, nil
+}
+
+// buildCollection makes the synthetic 64-set workload: each set holds the
+// elements of its index's 10-bit pattern plus a distinguishing marker, so
+// discovery needs a handful of informative questions per session.
+func buildCollection() (*setdiscovery.Collection, []string) {
+	sets := make(map[string][]string, 64)
+	for i := 0; i < 64; i++ {
+		var elems []string
+		for bit := 0; bit < 10; bit++ {
+			if i&(1<<bit) != 0 {
+				elems = append(elems, fmt.Sprintf("bit%d", bit))
+			}
+		}
+		elems = append(elems, fmt.Sprintf("marker%d", i))
+		sets[fmt.Sprintf("S%03d", i)] = elems
+	}
+	c, err := setdiscovery.NewCollection(sets)
+	if err != nil {
+		panic(err) // static input
+	}
+	return c, c.Names()
+}
+
+// report prints the per-plane numbers, and when both planes ran, the
+// stream/json ratios against the acceptance bar (≥2× sessions/sec, or
+// ≤0.5× round p50).
+func report(w *os.File, markdown bool, sessions, concurrency int, results []stats) {
+	if markdown {
+		fmt.Fprintf(w, "### setdiscload — %d sessions, %d workers\n\n", sessions, concurrency)
+		fmt.Fprintln(w, "| plane | sessions | wall | sessions/sec | round p50 | round p99 |")
+		fmt.Fprintln(w, "|-------|---------:|-----:|-------------:|----------:|----------:|")
+		for _, s := range results {
+			fmt.Fprintf(w, "| %s | %d | %s | %.1f | %s | %s |\n",
+				s.plane, s.sessions, s.elapsed.Round(time.Millisecond),
+				s.perSec(), s.percentile(0.50), s.percentile(0.99))
+		}
+		if len(results) == 2 {
+			j, st := results[0], results[1]
+			fmt.Fprintf(w, "| stream/json | | | %.2f× | %.2f× | %.2f× |\n",
+				st.perSec()/j.perSec(),
+				ratio(st.percentile(0.50), j.percentile(0.50)),
+				ratio(st.percentile(0.99), j.percentile(0.99)))
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	for _, s := range results {
+		fmt.Fprintf(w, "%-6s  %6d sessions in %8s  %8.1f sessions/sec  round p50 %-10s p99 %s\n",
+			s.plane, s.sessions, s.elapsed.Round(time.Millisecond),
+			s.perSec(), s.percentile(0.50), s.percentile(0.99))
+	}
+	if len(results) == 2 {
+		j, st := results[0], results[1]
+		fmt.Fprintf(w, "stream vs json: %.2fx sessions/sec, %.2fx round p50\n",
+			st.perSec()/j.perSec(), ratio(st.percentile(0.50), j.percentile(0.50)))
+	}
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

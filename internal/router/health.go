@@ -174,6 +174,10 @@ func (rt *Router) CheckHealthNow(ctx context.Context) {
 
 	died, recovered := rt.applyProbeResults(results)
 	for _, b := range died {
+		// Condemned link discipline: no stream frame is ever forwarded to a
+		// backend the prober declared dead. The pool re-dials lazily once
+		// the backend recovers (stream.go).
+		rt.closeStreamPool(b.name)
 		rt.resurrectFrom(ctx, b)
 	}
 	if len(recovered) > 0 {

@@ -77,7 +77,24 @@ func WithLogf(f func(format string, args ...any)) Option {
 // (proxyTimeout for client traffic, opTimeout for migration/warming, the
 // probe timeout for health checks), which is tighter and per-request.
 func WithHTTPClient(c *http.Client) Option {
-	return func(rt *Router) { rt.client = c }
+	return func(rt *Router) { rt.client = c; rt.clientCustom = true }
+}
+
+// DefaultMaxIdleConnsPerHost sizes the JSON plane's keep-alive pool per
+// backend. net/http's default of 2 makes a burst of concurrent proxied
+// requests churn dials (each request over the idle limit pays a fresh TCP
+// handshake and its connection is thrown away afterwards); a router fans
+// many clients into few engines, so the pool is sized for that fan-in.
+const DefaultMaxIdleConnsPerHost = 64
+
+// WithMaxIdleConnsPerHost resizes the keep-alive connection pool the
+// router's HTTP client keeps per backend. Ignored after WithHTTPClient.
+func WithMaxIdleConnsPerHost(n int) Option {
+	return func(rt *Router) {
+		if n > 0 {
+			rt.maxIdlePerHost = n
+		}
+	}
 }
 
 // WithOwnerTTL sets how long an affinity entry survives without traffic
@@ -103,9 +120,10 @@ const ownerSweepInterval = time.Minute
 // the probe state machine's (health.go); they are guarded by the router
 // lock like everything else here.
 type backend struct {
-	name     string
-	base     *url.URL
-	draining bool
+	name       string
+	base       *url.URL
+	streamAddr string // stream-plane listen address; "" = HTTP only (stream.go)
+	draining   bool
 
 	state     healthState
 	fails     int       // consecutive probe failures (suspect counting)
@@ -160,6 +178,13 @@ type Router struct {
 	persistPath string      // WithPersist target; "" = in-memory only
 	log         *persistLog // nil when persistence is off or failed
 	persistErr  error
+
+	clientCustom   bool // WithHTTPClient supplied; skip transport tuning
+	maxIdlePerHost int  // keep-alive pool size per backend for the default client
+
+	spMu           sync.Mutex             // guards streamPools (lock order: mu before spMu)
+	streamPools    map[string]*streamPool // per-backend stream connections (stream.go)
+	streamPoolSize int
 }
 
 // New builds an empty router; add engines with AddBackend. With WithPersist
@@ -181,9 +206,23 @@ func New(opts ...Option) *Router {
 		proxyTimeout:  DefaultProxyTimeout,
 		retryAttempts: defaultRetryAttempts,
 		retryBase:     defaultRetryBase,
+
+		maxIdlePerHost: DefaultMaxIdleConnsPerHost,
+		streamPools:    make(map[string]*streamPool),
+		streamPoolSize: DefaultStreamPoolSize,
 	}
 	for _, o := range opts {
 		o(rt)
+	}
+	if !rt.clientCustom {
+		// The JSON proxy plane's shared transport: keep-alive connections
+		// sized to the fan-in instead of net/http's per-host default of 2,
+		// so bursts re-use warm connections rather than re-dialing.
+		rt.client.Transport = &http.Transport{
+			MaxIdleConns:        0, // no global cap; the per-host bound governs
+			MaxIdleConnsPerHost: rt.maxIdlePerHost,
+			IdleConnTimeout:     90 * time.Second,
+		}
 	}
 	if rt.persistPath != "" {
 		rt.loadPersisted()
@@ -419,6 +458,7 @@ func (rt *Router) RemoveBackend(name string) error {
 	rt.rebuildRingLocked()
 	// One remove record: the log mirror cascades the owner drops.
 	rt.log.append(record{op: opRemoveBackend, name: name})
+	rt.closeStreamPool(name)
 	return nil
 }
 

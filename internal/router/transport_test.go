@@ -1,0 +1,74 @@
+package router
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"setdiscovery"
+	"setdiscovery/internal/server"
+)
+
+// TestTransportKeepAlives pins the JSON plane's connection discipline: the
+// router's shared transport holds enough keep-alive connections per
+// backend that a concurrent burst re-uses warm connections instead of
+// re-dialing per request. Before the tuned transport (bare http.Client,
+// MaxIdleConnsPerHost=2) this workload dialed a fresh connection for
+// nearly every in-flight request beyond the first two, every round.
+func TestTransportKeepAlives(t *testing.T) {
+	c, err := setdiscovery.NewCollection(paperSets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New()
+	if err := srv.Register("paper", c); err != nil {
+		t.Fatal(err)
+	}
+	var dials atomic.Int64
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	rt := New(WithLogf(t.Logf))
+	if err := rt.AddBackend("a", ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	// 8 rounds of 32 concurrent creates: 256 proxied requests. The warmed
+	// keep-alive pool should cap total dials near the burst width; a
+	// per-request-dial regime would pay hundreds.
+	const rounds, width = 8, 32
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(front.URL+"/v1/collections/paper/sessions", "application/json", nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusCreated {
+					t.Errorf("create: status %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if got := dials.Load(); got > width+8 {
+		t.Fatalf("backend saw %d new connections for %d requests — keep-alives are not being reused",
+			got, rounds*width)
+	}
+}

@@ -985,11 +985,47 @@ func decodeJSON(r *http.Request, v any, limit int64) error {
 	return nil
 }
 
+// jsonEncoder is a pooled encode buffer with its json.Encoder permanently
+// bound to it, so the hot path re-allocates neither.
+type jsonEncoder struct {
+	buf *bytes.Buffer
+	enc *json.Encoder
+}
+
+// encodeBufs pools the response encoders: every interaction round writes
+// one JSON body, and encoding into a pooled buffer then issuing a single
+// Write keeps the hot path free of per-response allocations (and hands
+// net/http the full body in one call).
+var encodeBufs = sync.Pool{New: func() any {
+	buf := new(bytes.Buffer)
+	return &jsonEncoder{buf: buf, enc: json.NewEncoder(buf)}
+}}
+
+// maxPooledEncodeBuf caps what returns to the pool; an occasional huge
+// body (a state export rode through) must not pin its buffer forever.
+const maxPooledEncodeBuf = 64 << 10
+
+// contentTypeJSON is the ready-made header value, assigned (not Set) so
+// the per-response []string allocation disappears too. Never mutated.
+var contentTypeJSON = []string{"application/json"}
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	je := encodeBufs.Get().(*jsonEncoder)
+	je.buf.Reset()
+	if err := je.enc.Encode(v); err != nil {
+		// Nothing written yet, so the failure can still be a clean 500.
 		s.logf("server: encoding response: %v", err)
+		encodeBufs.Put(je)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(status)
+	if _, err := w.Write(je.buf.Bytes()); err != nil {
+		s.logf("server: writing response: %v", err)
+	}
+	if je.buf.Cap() <= maxPooledEncodeBuf {
+		encodeBufs.Put(je)
 	}
 }
 

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"setdiscovery"
+	"setdiscovery/internal/wireproto"
+)
+
+const streamTestTimeout = 5 * time.Second
+
+// newStreamServer starts the paper-collection server on both planes and
+// returns the HTTP base URL and a connected stream client.
+func newStreamServer(t *testing.T, opts ...Option) (*Server, string, *wireproto.Client) {
+	t.Helper()
+	srv, ts, _ := newTestServer(t, opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.ServeStream(ln)
+	c, err := wireproto.Dial(ln.Addr().String(), streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, ts.URL, c
+}
+
+// resolveStream drives one stream session to completion against the
+// paper-sets target, returning the asked entity sequence and the result.
+func resolveStream(t *testing.T, s *wireproto.Stream, q *wireproto.Question, target map[string]bool) ([]string, *wireproto.Result) {
+	t.Helper()
+	var asked []string
+	for i := 0; !q.Done; i++ {
+		if i > 100 {
+			t.Fatal("session did not converge")
+		}
+		mq := q.Members[0]
+		var err error
+		switch {
+		case mq.Entity != "":
+			asked = append(asked, "e:"+mq.Entity)
+			ans := "no"
+			if target[mq.Entity] {
+				ans = "yes"
+			}
+			q, err = s.Answer(&wireproto.Answer{Answer: ans, Entity: mq.Entity}, streamTestTimeout)
+		case mq.Confirm != "":
+			asked = append(asked, "c:"+mq.Confirm)
+			q, err = s.Answer(&wireproto.Answer{Answer: "yes", Confirm: mq.Confirm}, streamTestTimeout)
+		default:
+			t.Fatalf("question with neither entity nor confirm: %#v", mq)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result(streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asked, res
+}
+
+func TestStreamSessionResolves(t *testing.T) {
+	_, _, c := newStreamServer(t)
+	s := c.OpenStream()
+	defer s.Close()
+
+	q, err := s.Create(&wireproto.Create{Collection: "paper"}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID == "" || q.Done || len(q.Members) != 1 {
+		t.Fatalf("unexpected first question: %#v", q)
+	}
+	target := map[string]bool{"a": true, "d": true, "e": true} // S2
+	_, res := resolveStream(t, s, q, target)
+	if !res.Done || res.Members[0].Target != "S2" {
+		t.Fatalf("expected S2, got %#v", res)
+	}
+	if res.Members[0].Questions == 0 {
+		t.Fatal("result reports zero questions")
+	}
+}
+
+// TestStreamMatchesHTTP pins cross-plane equivalence at the engine: the
+// same collection resolves the same target over /v1 JSON and over the
+// stream with an identical question sequence and identical result fields,
+// and a session created on one plane is visible on the other (shared
+// store).
+func TestStreamMatchesHTTP(t *testing.T) {
+	srv, base, c := newStreamServer(t)
+	target := map[string]bool{"a": true, "b": true, "g": true} // S7
+
+	// JSON plane twin.
+	var jq QuestionResponse
+	if code := do(t, http.MethodPost, base+"/v1/collections/paper/sessions", nil, &jq); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var jAsked []string
+	for i := 0; !jq.Done; i++ {
+		if i > 100 {
+			t.Fatal("JSON session did not converge")
+		}
+		req := AnswerRequest{Entity: jq.Entity, Confirm: jq.Confirm}
+		switch {
+		case jq.Entity != "":
+			jAsked = append(jAsked, "e:"+jq.Entity)
+			req.Answer = "no"
+			if target[jq.Entity] {
+				req.Answer = "yes"
+			}
+		case jq.Confirm != "":
+			jAsked = append(jAsked, "c:"+jq.Confirm)
+			req.Answer = "yes"
+		}
+		if code := do(t, http.MethodPost, base+"/v1/sessions/"+jq.SessionID+"/answer", req, &jq); code != http.StatusOK {
+			t.Fatalf("answer: status %d", code)
+		}
+	}
+	var jres ResultResponse
+	if code := do(t, http.MethodGet, base+"/v1/sessions/"+jq.SessionID+"/result", nil, &jres); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+
+	// Stream plane twin.
+	s := c.OpenStream()
+	defer s.Close()
+	q, err := s.Create(&wireproto.Create{Collection: "paper"}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAsked, sres := resolveStream(t, s, q, target)
+
+	if fmt.Sprint(jAsked) != fmt.Sprint(sAsked) {
+		t.Fatalf("question sequences diverge:\n json  %v\n frame %v", jAsked, sAsked)
+	}
+	m := sres.Members[0]
+	if m.Target != jres.Target || m.Questions != jres.Questions ||
+		m.Interactions != jres.Interactions || m.Backtracks != jres.Backtracks {
+		t.Fatalf("results diverge:\n json  %#v\n frame %#v", jres.ResultBody, m)
+	}
+
+	// Shared store: the stream-created session answers over HTTP too.
+	var hq QuestionResponse
+	if code := do(t, http.MethodGet, base+"/v1/sessions/"+q.ID+"/question", nil, &hq); code != http.StatusOK {
+		t.Fatalf("cross-plane question: status %d", code)
+	}
+	if !hq.Done {
+		t.Fatalf("stream-resolved session not done over HTTP: %#v", hq)
+	}
+	if srv.SessionCount() != 2 {
+		t.Fatalf("expected 2 sessions in the shared store, got %d", srv.SessionCount())
+	}
+}
+
+func TestStreamBatch(t *testing.T) {
+	_, _, c := newStreamServer(t)
+	s := c.OpenStream()
+	defer s.Close()
+
+	q, err := s.Create(&wireproto.Create{
+		Collection: "paper",
+		Batch:      true,
+		Seeds:      [][]string{nil, nil},
+	}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Members) != 2 {
+		t.Fatalf("expected 2 members, got %#v", q)
+	}
+	targets := []map[string]bool{
+		{"a": true, "d": true, "e": true},            // S2
+		{"a": true, "b": true, "j": true, "k": true}, // S6
+	}
+	for round := 0; !q.Done; round++ {
+		if round > 100 {
+			t.Fatal("batch did not converge")
+		}
+		var ba wireproto.BatchAnswer
+		for _, mq := range q.Members {
+			if mq.Done {
+				continue
+			}
+			ans := wireproto.MemberAnswer{Member: mq.Member, Entity: mq.Entity, Confirm: mq.Confirm}
+			switch {
+			case mq.Entity != "":
+				ans.Answer = "no"
+				if targets[mq.Member][mq.Entity] {
+					ans.Answer = "yes"
+				}
+			case mq.Confirm != "":
+				ans.Answer = "yes"
+			}
+			ba.Answers = append(ba.Answers, ans)
+		}
+		if q, err = s.AnswerBatch(&ba, streamTestTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result(streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 2 || res.Members[0].Target != "S2" || res.Members[1].Target != "S6" {
+		t.Fatalf("unexpected batch result: %#v", res)
+	}
+
+	// Out-of-range member rejects the whole round, mirroring HTTP 400.
+	s2 := c.OpenStream()
+	defer s2.Close()
+	q2, err := s2.Create(&wireproto.Create{Collection: "paper", Batch: true, Seeds: [][]string{nil}}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s2.AnswerBatch(&wireproto.BatchAnswer{Answers: []wireproto.MemberAnswer{
+		{Member: 5, Answer: "yes", Entity: q2.Members[0].Entity},
+	}}, streamTestTimeout)
+	var re *wireproto.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusBadRequest {
+		t.Fatalf("got %v, want 400 RemoteError", err)
+	}
+}
+
+func TestStreamAttachAndState(t *testing.T) {
+	_, _, c := newStreamServer(t)
+	s := c.OpenStream()
+	defer s.Close()
+
+	q, err := s.Create(&wireproto.Create{Collection: "paper", WantState: true}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.State) == 0 {
+		t.Fatal("WantState create returned no state")
+	}
+
+	// A second stream attaches to the same session and continues it.
+	s2 := c.OpenStream()
+	defer s2.Close()
+	q2, err := s2.Attach(q.ID, true, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.ID != q.ID || q2.Members[0].Entity != q.Members[0].Entity {
+		t.Fatalf("attach diverges from create: %#v vs %#v", q2, q)
+	}
+	if len(q2.State) == 0 {
+		t.Fatal("WantState attach returned no state")
+	}
+
+	// Attach to a nonsense ID is a 404.
+	s3 := c.OpenStream()
+	defer s3.Close()
+	_, err = s3.Attach("nope", false, streamTestTimeout)
+	var re *wireproto.RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusNotFound {
+		t.Fatalf("got %v, want 404 RemoteError", err)
+	}
+}
+
+func TestStreamErrorStatuses(t *testing.T) {
+	_, _, c := newStreamServer(t)
+
+	var re *wireproto.RemoteError
+
+	// Unknown collection → 404.
+	s := c.OpenStream()
+	_, err := s.Create(&wireproto.Create{Collection: "nope"}, streamTestTimeout)
+	if !errors.As(err, &re) || re.Status != http.StatusNotFound {
+		t.Fatalf("unknown collection: got %v, want 404", err)
+	}
+	s.Close()
+
+	// Answer on an unbound channel → 404.
+	s = c.OpenStream()
+	_, err = s.Answer(&wireproto.Answer{Answer: "yes"}, streamTestTimeout)
+	if !errors.As(err, &re) || re.Status != http.StatusNotFound {
+		t.Fatalf("unbound answer: got %v, want 404", err)
+	}
+	s.Close()
+
+	// Stale question assertion → 409; malformed answer → 400.
+	s = c.OpenStream()
+	q, err := s.Create(&wireproto.Create{Collection: "paper"}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Answer(&wireproto.Answer{Answer: "yes", Entity: "not-the-question"}, streamTestTimeout)
+	if !errors.As(err, &re) || re.Status != http.StatusConflict {
+		t.Fatalf("stale assertion: got %v, want 409", err)
+	}
+	_, err = s.Answer(&wireproto.Answer{Answer: "maybe", Entity: q.Members[0].Entity}, streamTestTimeout)
+	if !errors.As(err, &re) || re.Status != http.StatusBadRequest {
+		t.Fatalf("malformed answer: got %v, want 400", err)
+	}
+	s.Close()
+
+	// Store at capacity → 503.
+	srv2, _, _ := newTestServer(t, WithMaxSessions(1))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv2.ServeStream(ln)
+	c2, err := wireproto.Dial(ln.Addr().String(), streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	sA := c2.OpenStream()
+	if _, err := sA.Create(&wireproto.Create{Collection: "paper"}, streamTestTimeout); err != nil {
+		t.Fatal(err)
+	}
+	sB := c2.OpenStream()
+	_, err = sB.Create(&wireproto.Create{Collection: "paper"}, streamTestTimeout)
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("full store: got %v, want 503", err)
+	}
+}
+
+// TestStreamTreeSession drives the prebuilt-tree walk over the stream.
+func TestStreamTreeSession(t *testing.T) {
+	_, _, c := newStreamServer(t)
+	s := c.OpenStream()
+	defer s.Close()
+	q, err := s.Create(&wireproto.Create{Collection: "paper", Tree: true}, streamTestTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := map[string]bool{"a": true, "b": true, "c": true, "d": true} // S1
+	_, res := resolveStream(t, s, q, target)
+	if res.Members[0].Target != "S1" {
+		t.Fatalf("expected S1, got %#v", res)
+	}
+	_ = setdiscovery.Yes // keep the import honest if helpers change
+}

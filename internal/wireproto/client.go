@@ -1,0 +1,276 @@
+package wireproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RemoteError is a server Error frame surfaced as a Go error; Status is the
+// HTTP status the JSON plane would have answered.
+type RemoteError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wireproto: remote error %d: %s", e.Status, e.Msg)
+}
+
+// ErrClientClosed reports an operation on a closed (or transport-broken)
+// client.
+var ErrClientClosed = errors.New("wireproto: client closed")
+
+// Client is one multiplexed stream-plane connection. Many goroutines may
+// open streams and exchange frames concurrently; writes are serialized,
+// responses are dispatched to the owning stream by channel id.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	nextCh  uint64
+	err     error
+	closed  bool
+
+	done chan struct{}
+}
+
+// Dial connects to a stream-plane address and performs the preface
+// exchange. timeout bounds the dial only; per-exchange deadlines are the
+// caller's business via Stream timeouts.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (the client side): it writes
+// the preface and starts the demultiplexing read loop.
+func NewClient(conn net.Conn) (*Client, error) {
+	bw := bufio.NewWriter(conn)
+	if err := WritePreface(bw); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bw,
+		streams: make(map[uint64]*Stream),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReader(c.conn)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		s := c.streams[m.ChannelID()]
+		c.mu.Unlock()
+		if s == nil {
+			// Late frame for an abandoned channel (e.g. a timed-out
+			// exchange): drop it.
+			continue
+		}
+		select {
+		case s.resp <- m:
+		default:
+			// The stream violated the one-outstanding-exchange discipline
+			// or a duplicate response arrived; the connection state is no
+			// longer trustworthy.
+			c.fail(badFrame("unexpected frame on channel %d", m.ChannelID()))
+			return
+		}
+	}
+}
+
+// fail marks the client broken, closing the transport and waking every
+// in-flight exchange.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// Err reports the client's sticky failure, nil while the connection is
+// healthy. Pools use it to discard broken connections.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed && c.err == nil {
+		return ErrClientClosed
+	}
+	return c.err
+}
+
+// Close tears the connection down; in-flight exchanges fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.fail(ErrClientClosed)
+	return nil
+}
+
+// OpenStream allocates a channel for one session or batch. The stream
+// holds no server state until its first Create/Attach exchange.
+func (c *Client) OpenStream() *Stream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCh++
+	s := &Stream{c: c, ch: c.nextCh, resp: make(chan Message, 1)}
+	c.streams[s.ch] = s
+	return s
+}
+
+func (c *Client) writeFrame(m Message) error {
+	buf, err := AppendFrame(nil, m)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(buf); err != nil {
+		c.fail(err)
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Stream is one channel of a Client: one session or batch, strictly
+// request/response. A Stream must not be used concurrently from multiple
+// goroutines.
+type Stream struct {
+	c      *Client
+	ch     uint64
+	resp   chan Message
+	broken bool
+}
+
+// Channel returns the stream's channel id.
+func (s *Stream) Channel() uint64 { return s.ch }
+
+// Close releases the channel. Late server frames for it are dropped.
+func (s *Stream) Close() {
+	s.c.mu.Lock()
+	delete(s.c.streams, s.ch)
+	s.c.mu.Unlock()
+}
+
+// roundTrip sends req and waits for the response frame, with timeout
+// bounding the wait when positive. On timeout the stream is poisoned (a
+// late response would desynchronize every later exchange), but the client
+// connection stays usable for its other streams.
+func (s *Stream) roundTrip(req Message, timeout time.Duration) (Message, error) {
+	if s.broken {
+		return nil, fmt.Errorf("wireproto: stream %d is broken by an earlier timeout", s.ch)
+	}
+	if err := s.c.writeFrame(req); err != nil {
+		return nil, err
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case m := <-s.resp:
+		if e, ok := m.(*Error); ok {
+			return nil, &RemoteError{Status: e.Status, Msg: e.Msg}
+		}
+		return m, nil
+	case <-s.c.done:
+		err := s.c.Err()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	case <-timer:
+		s.broken = true
+		s.Close()
+		return nil, fmt.Errorf("wireproto: timeout awaiting response on channel %d", s.ch)
+	}
+}
+
+// Create performs the create exchange, binding the stream to the new
+// resource, and returns its first question frame.
+func (s *Stream) Create(req *Create, timeout time.Duration) (*Question, error) {
+	req.Channel = s.ch
+	return s.question(req, timeout)
+}
+
+// Attach binds the stream to an existing resource by ID and returns its
+// current question frame — the resume path after a connection or backend
+// failure.
+func (s *Stream) Attach(id string, wantState bool, timeout time.Duration) (*Question, error) {
+	return s.question(&Create{Channel: s.ch, AttachID: id, WantState: wantState}, timeout)
+}
+
+// Answer applies one session answer and returns the next question frame.
+func (s *Stream) Answer(req *Answer, timeout time.Duration) (*Question, error) {
+	req.Channel = s.ch
+	return s.question(req, timeout)
+}
+
+// AnswerBatch applies one round of batch answers and returns the next
+// question frame.
+func (s *Stream) AnswerBatch(req *BatchAnswer, timeout time.Duration) (*Question, error) {
+	req.Channel = s.ch
+	return s.question(req, timeout)
+}
+
+func (s *Stream) question(req Message, timeout time.Duration) (*Question, error) {
+	m, err := s.roundTrip(req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := m.(*Question)
+	if !ok {
+		s.c.fail(badFrame("expected question frame, got type %d", m.Type()))
+		return nil, s.c.Err()
+	}
+	return q, nil
+}
+
+// Result fetches the bound resource's outcome.
+func (s *Stream) Result(timeout time.Duration) (*Result, error) {
+	m, err := s.roundTrip(&ResultRequest{Channel: s.ch}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := m.(*Result)
+	if !ok {
+		s.c.fail(badFrame("expected result frame, got type %d", m.Type()))
+		return nil, s.c.Err()
+	}
+	return r, nil
+}

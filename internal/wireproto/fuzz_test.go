@@ -1,0 +1,51 @@
+package wireproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireFrame holds the frame decoder to its two contracts: every
+// rejection wraps ErrBadFrame (no panics, no naked errors), and every
+// accepted frame round-trips losslessly — decode → encode → decode is
+// deep-equal (re-encoding may differ byte-wise when the input used
+// non-minimal varints, so equality is on the decoded value).
+func FuzzWireFrame(f *testing.F) {
+	for _, m := range sampleMessages() {
+		buf, err := AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 6, 1, 1, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(data) == 0 {
+				return // clean end-of-stream
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("rejection does not wrap ErrBadFrame: %v", err)
+			}
+			return
+		}
+		buf, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v (%#v)", err, m)
+		}
+		m2, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v (%#v)", err, m)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("lossy round trip:\nfirst  %#v\nsecond %#v", m, m2)
+		}
+	})
+}
