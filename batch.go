@@ -6,6 +6,7 @@ import (
 
 	"setdiscovery/internal/dataset"
 	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/strategy"
 )
 
 // Seed is the starting point of one batch member: its initial example
@@ -58,9 +59,22 @@ func (c *Collection) NewBatch(seeds []Seed, opts ...Option) (*Batch, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	f, err := c.factory(cfg)
-	if err != nil {
-		return nil, err
+	o := discoveryOptions(cfg, nil)
+	var f strategy.Factory
+	if cfg.groupStrategy != "" {
+		// Group batches mint one shared group-strategy instance; members are
+		// externally serialised, so sharing its scratch is safe, and the
+		// entity-strategy factory stays nil.
+		gf, err := c.groupFactory(cfg)
+		if err != nil {
+			return nil, err
+		}
+		o.Group = gf.New()
+	} else {
+		var err error
+		if f, err = c.factory(cfg); err != nil {
+			return nil, err
+		}
 	}
 	inits := make([][]dataset.Entity, len(seeds))
 	for i, seed := range seeds {
@@ -70,12 +84,7 @@ func (c *Collection) NewBatch(seeds []Seed, opts ...Option) (*Batch, error) {
 		}
 		inits[i] = init
 	}
-	b, err := discovery.NewBatch(c.c, inits, f, discovery.Options{
-		MaxQuestions:  cfg.maxQuestions,
-		BatchSize:     cfg.batchSize,
-		Backtrack:     cfg.backtrack,
-		ConfirmTarget: cfg.confirm,
-	})
+	b, err := discovery.NewBatch(c.c, inits, f, o)
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +112,9 @@ func (b *Batch) Question(i int) (Question, bool) {
 	m := b.member(i)
 	if set, ok := m.PendingConfirm(); ok {
 		return Question{Confirm: set.Name}, false
+	}
+	if members, sem, ok := m.PendingSubset(); ok {
+		return subsetQuestion(b.c.c, members, sem), false
 	}
 	e, done := m.Next()
 	if done {

@@ -1,0 +1,305 @@
+package main
+
+// -mode group: questions-to-convergence comparison. The interesting number
+// for group testing is not latency but how many questions a session needs —
+// a set-valued (subset) question halves the candidate space where an entity
+// question merely splits on one element's occurrence. This mode resolves
+// the same deterministic target list three ways — entity questions over
+// JSON, subset questions (halving) over JSON, and subset questions over the
+// binary stream plane — and reports mean/max questions per session side by
+// side. The two group passes must agree target-for-target (the strategy is
+// deterministic), which doubles as a cross-plane equivalence check under
+// load.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"setdiscovery"
+	"setdiscovery/internal/server"
+	"setdiscovery/internal/wireproto"
+)
+
+// groupStats is one pass's questions-to-convergence aggregate.
+type groupStats struct {
+	questions string // "entity" or "subset (halving)"
+	plane     string
+	counts    []int // questions per session, indexed by target slot
+	elapsed   time.Duration
+}
+
+func (g groupStats) mean() float64 {
+	if len(g.counts) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range g.counts {
+		sum += n
+	}
+	return float64(sum) / float64(len(g.counts))
+}
+
+func (g groupStats) max() int {
+	m := 0
+	for _, n := range g.counts {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// runGroupMode drives the three passes over an identical target list and
+// prints the comparison (markdown for CI job summaries with -markdown).
+func runGroupMode(w *os.File, markdown bool, jsonURL, streamAddr string, sessions, concurrency, conns int, seed int64, names []string, _ *setdiscovery.Collection, oracles []setdiscovery.Oracle) error {
+	groups := make([]setdiscovery.GroupOracle, len(oracles))
+	for i, o := range oracles {
+		g, ok := o.(setdiscovery.GroupOracle)
+		if !ok {
+			return fmt.Errorf("oracle for %s does not answer set-valued questions", names[i])
+		}
+		groups[i] = g
+	}
+
+	// One shared target list so every pass resolves the same discoveries.
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]int, sessions)
+	for i := range targets {
+		targets[i] = rng.Intn(len(names))
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        0,
+		MaxIdleConnsPerHost: concurrency,
+	}}
+	defer client.CloseIdleConnections()
+
+	entity, err := countSessions("entity", "json", concurrency, targets, func(t int) (int, error) {
+		rounds, err := resolveJSON(client, jsonURL, names[t], oracles[t])
+		return len(rounds), err
+	})
+	if err != nil {
+		return err
+	}
+
+	groupJSON, err := countSessions("subset (halving)", "json", concurrency, targets, func(t int) (int, error) {
+		return resolveGroupJSON(client, jsonURL, names[t], groups[t])
+	})
+	if err != nil {
+		return err
+	}
+
+	if conns < 1 {
+		conns = 1
+	}
+	clients := make([]*wireproto.Client, conns)
+	for i := range clients {
+		c, err := wireproto.Dial(streamAddr, callTimeout)
+		if err != nil {
+			return fmt.Errorf("dialing stream plane: %w", err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var nextConn atomic.Int64
+	groupStream, err := countSessions("subset (halving)", "stream", concurrency, targets, func(t int) (int, error) {
+		c := clients[int(nextConn.Add(1))%conns]
+		return resolveGroupStream(c, names[t], groups[t])
+	})
+	if err != nil {
+		return err
+	}
+
+	// The strategy is deterministic: both planes must need the same number
+	// of questions for the same target. A divergence means the wire lost or
+	// reshaped a subset question.
+	for i := range targets {
+		if groupJSON.counts[i] != groupStream.counts[i] {
+			return fmt.Errorf("cross-plane divergence: target %s needed %d questions over JSON but %d over stream",
+				names[targets[i]], groupJSON.counts[i], groupStream.counts[i])
+		}
+	}
+
+	reportGroup(w, markdown, sessions, concurrency, []groupStats{entity, groupJSON, groupStream})
+	return nil
+}
+
+// countSessions resolves every target slot through resolve on a worker
+// pool, recording the question count per slot.
+func countSessions(questions, plane string, concurrency int, targets []int, resolve func(target int) (int, error)) (groupStats, error) {
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	counts := make([]int, len(targets))
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				n, err := resolve(targets[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				counts[i] = n
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return groupStats{}, fmt.Errorf("%s/%s: %w", questions, plane, firstErr)
+	}
+	return groupStats{questions: questions, plane: plane, counts: counts, elapsed: elapsed}, nil
+}
+
+// resolveGroupJSON drives one group session over the /v1 JSON plane to
+// completion, echoing each question's subset and semantics as the answer
+// assertion, and returns the number of questions answered.
+func resolveGroupJSON(client *http.Client, base, want string, oracle setdiscovery.GroupOracle) (int, error) {
+	post := func(url string, body []byte, out any) error {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	create, err := json.Marshal(server.CreateSessionRequest{
+		SessionConfig: server.SessionConfig{GroupStrategy: "halving"},
+	})
+	if err != nil {
+		return 0, err
+	}
+	var q server.QuestionResponse
+	if err := post(base+"/v1/collections/"+collectionName+"/sessions", create, &q); err != nil {
+		return 0, err
+	}
+	id := q.SessionID
+	answered := 0
+	for i := 0; !q.Done; i++ {
+		if i > 200 {
+			return 0, fmt.Errorf("group JSON session did not converge on %s", want)
+		}
+		req := server.AnswerRequest{Confirm: q.Confirm, Subset: q.Subset, Semantics: q.Semantics, Answer: "no"}
+		switch {
+		case len(q.Subset) > 0:
+			if oracle.AnswerSubset(q.Subset, q.Semantics) == setdiscovery.Yes {
+				req.Answer = "yes"
+			}
+		case q.Confirm == want:
+			req.Answer = "yes"
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, err
+		}
+		if err := post(base+"/v1/sessions/"+id+"/answer", body, &q); err != nil {
+			return 0, err
+		}
+		answered++
+	}
+	var res server.ResultResponse
+	resp, err := client.Get(base + "/v1/sessions/" + id + "/result")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return 0, err
+	}
+	if res.Target != want {
+		return 0, fmt.Errorf("group JSON plane discovered %q, want %q", res.Target, want)
+	}
+	return answered, nil
+}
+
+// resolveGroupStream is resolveGroupJSON over the binary plane: one
+// multiplexed channel, one frame exchange per subset question.
+func resolveGroupStream(c *wireproto.Client, want string, oracle setdiscovery.GroupOracle) (int, error) {
+	s := c.OpenStream()
+	defer s.Close()
+	q, err := s.Create(&wireproto.Create{
+		Collection: collectionName,
+		Config:     wireproto.SessionConfig{GroupStrategy: "halving"},
+	}, callTimeout)
+	if err != nil {
+		return 0, err
+	}
+	answered := 0
+	for i := 0; !q.Done; i++ {
+		if i > 200 {
+			return 0, fmt.Errorf("group stream session did not converge on %s", want)
+		}
+		mq := q.Members[0]
+		ans := &wireproto.Answer{Confirm: mq.Confirm, Subset: mq.Subset, Semantics: mq.Semantics, Answer: "no"}
+		switch {
+		case len(mq.Subset) > 0:
+			if oracle.AnswerSubset(mq.Subset, mq.Semantics) == setdiscovery.Yes {
+				ans.Answer = "yes"
+			}
+		case mq.Confirm == want:
+			ans.Answer = "yes"
+		}
+		if q, err = s.Answer(ans, callTimeout); err != nil {
+			return 0, err
+		}
+		answered++
+	}
+	res, err := s.Result(callTimeout)
+	if err != nil {
+		return 0, err
+	}
+	if got := res.Members[0].Target; got != want {
+		return 0, fmt.Errorf("group stream plane discovered %q, want %q", got, want)
+	}
+	return answered, nil
+}
+
+// reportGroup prints the questions-to-convergence comparison plus the
+// subset/entity ratio (the group-testing payoff in one number).
+func reportGroup(w *os.File, markdown bool, sessions, concurrency int, results []groupStats) {
+	if markdown {
+		fmt.Fprintf(w, "### setdiscload group testing — %d sessions, %d workers\n\n", sessions, concurrency)
+		fmt.Fprintln(w, "| questions | plane | sessions | mean questions | max questions | wall |")
+		fmt.Fprintln(w, "|-----------|-------|---------:|---------------:|--------------:|-----:|")
+		for _, g := range results {
+			fmt.Fprintf(w, "| %s | %s | %d | %.2f | %d | %s |\n",
+				g.questions, g.plane, len(g.counts), g.mean(), g.max(), g.elapsed.Round(time.Millisecond))
+		}
+		if len(results) >= 2 && results[0].mean() > 0 {
+			fmt.Fprintf(w, "| subset/entity | | | %.2f× | | |\n", results[1].mean()/results[0].mean())
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	for _, g := range results {
+		fmt.Fprintf(w, "%-17s %-6s  %6d sessions  mean %6.2f questions  max %3d  in %s\n",
+			g.questions, g.plane, len(g.counts), g.mean(), g.max(), g.elapsed.Round(time.Millisecond))
+	}
+	if len(results) >= 2 && results[0].mean() > 0 {
+		fmt.Fprintf(w, "subset vs entity: %.2fx questions to convergence\n", results[1].mean()/results[0].mean())
+	}
+}

@@ -52,7 +52,7 @@ func main() {
 		sessions    = flag.Int("sessions", 1000, "discovery sessions to resolve per plane")
 		concurrency = flag.Int("concurrency", 64, "concurrent client workers")
 		conns       = flag.Int("conns", 8, "client stream connections the workers multiplex over")
-		mode        = flag.String("mode", "both", "which plane to load: json, stream or both")
+		mode        = flag.String("mode", "both", "what to load: json, stream, both, or group (questions-to-convergence, entity vs subset questions)")
 		seed        = flag.Int64("seed", 1, "seed for target selection")
 		markdown    = flag.Bool("markdown", false, "emit the comparison as a markdown table")
 		dump        = flag.Bool("dump", false, "print the synthetic collection in setdisc file format and exit")
@@ -87,6 +87,17 @@ func main() {
 		defer f.close()
 		jsonURL, streamAddr = f.httpURL, f.streamAddr
 		logger.Printf("in-process fleet: %d engines, router JSON %s, stream %s", *fleetN, jsonURL, streamAddr)
+	}
+
+	if *mode == "group" {
+		if jsonURL == "" || streamAddr == "" {
+			logger.Fatal("-mode group needs both planes (-addr and -stream, or the in-process fleet)")
+		}
+		if err := runGroupMode(os.Stdout, *markdown, jsonURL, streamAddr,
+			*sessions, *concurrency, *conns, *seed, names, c, oracles); err != nil {
+			logger.Fatal(err)
+		}
+		return
 	}
 
 	var results []stats

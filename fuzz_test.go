@@ -3,7 +3,11 @@ package setdiscovery
 import (
 	"bytes"
 	"errors"
+	"io"
+	"reflect"
 	"testing"
+
+	"setdiscovery/internal/wireproto"
 )
 
 // Fuzz coverage for the two public decoders that parse untrusted input: the
@@ -185,6 +189,190 @@ func FuzzSelectionCacheShard(f *testing.F) {
 			t.Fatalf("re-export round trip: imported %d of %d, err %v", m, n, err)
 		}
 	})
+}
+
+// FuzzGroupQuestionState fuzzes the two decoders that carry set-valued
+// question state: the snapshot envelope (RestoreSession/RestoreBatch, bumped
+// to version 3 for group sessions) and the wire frame decoder (group state
+// travels under flag-gated appends). The corpus seeds every envelope
+// generation — version-1 delta-less, version-2 shared-selection, version-3
+// halving mid-flight and additive-with-constraints — plus group-flagged
+// Create/Question/Answer/BatchAnswer frames. Contracts: rejections wrap
+// ErrBadSnapshot / wireproto.ErrBadFrame (never a panic or naked error), an
+// accepted session re-snapshots byte-identically and drives to completion,
+// and an accepted frame survives decode → encode → decode deep-equal.
+func FuzzGroupQuestionState(f *testing.F) {
+	c := fuzzCollection(f)
+	o, err := c.TargetOracle(c.Names()[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := o.(GroupOracle)
+
+	// Version-3 group envelopes: halving suspended mid-flight, additive at
+	// round zero with a constraint recorded.
+	halving, err := c.NewSession(nil, WithGroupStrategy("halving"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if q, done := halving.Next(); !done {
+		if err := halving.Answer(g.AnswerSubset(q.Subset, q.Semantics)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	halvingSnap, err := halving.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	additive, err := c.NewSession(nil, WithGroupStrategy("additive"), WithGroupConstraint("a", "b"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	additiveSnap, err := additive.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	groupBatch, err := c.NewBatch([]Seed{{}, {}}, WithGroupStrategy("halving"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	groupBatchSnap, err := groupBatch.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Pre-bump envelopes: entity sessions must keep decoding unchanged
+	// after the version-3 bump.
+	v1, err := c.NewSession(nil, WithSharedSelection(false))
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1Snap, err := v1.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2, err := c.NewSession(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := v2.Answer(No); err != nil {
+		f.Fatal(err)
+	}
+	v2Snap, err := v2.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// Group-flagged wire frames alongside the snapshots: one corpus, both
+	// decoders probed per input.
+	for _, m := range []wireproto.Message{
+		&wireproto.Create{Channel: 1, Collection: "paper", Config: wireproto.SessionConfig{
+			GroupStrategy:    "additive",
+			GroupConstraints: [][2]string{{"a", "b"}},
+		}},
+		&wireproto.Question{Channel: 1, Members: []wireproto.MemberQuestion{
+			{Subset: []string{"a", "b"}, Semantics: "intersects"},
+		}},
+		&wireproto.Answer{Channel: 1, Answer: "yes", Subset: []string{"a"}, Semantics: "subset-of"},
+		&wireproto.BatchAnswer{Channel: 1, Answers: []wireproto.MemberAnswer{
+			{Member: 0, Answer: "no", Subset: []string{"b"}, Semantics: "intersects"},
+			{Member: 1, Answer: "yes"},
+		}},
+	} {
+		buf, err := wireproto.AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add(halvingSnap)
+	f.Add(additiveSnap)
+	f.Add(groupBatchSnap)
+	f.Add(v1Snap)
+	f.Add(v2Snap)
+	f.Add([]byte("SDSS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if restored, err := c.RestoreSession(input); err != nil {
+			if !errors.Is(err, ErrBadSnapshot) {
+				t.Fatalf("session rejection not wrapped in ErrBadSnapshot: %v", err)
+			}
+		} else {
+			// An accepted session's own snapshot must be a byte-stable fixed
+			// point: restore → snapshot → restore → snapshot is identical.
+			again, err := restored.Snapshot()
+			if err != nil {
+				t.Fatalf("restored session failed to re-snapshot: %v", err)
+			}
+			twin, err := c.RestoreSession(again)
+			if err != nil {
+				t.Fatalf("re-snapshot rejected: %v", err)
+			}
+			stable, err := twin.Snapshot()
+			if err != nil {
+				t.Fatalf("re-restored session failed to snapshot: %v", err)
+			}
+			if !bytes.Equal(again, stable) {
+				t.Fatalf("snapshot not byte-stable:\nfirst  %x\nsecond %x", again, stable)
+			}
+			driveGroupAccepted(t, c, restored)
+		}
+		if _, err := c.RestoreBatch(input); err != nil && !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("batch rejection not wrapped in ErrBadSnapshot: %v", err)
+		}
+		m, err := wireproto.ReadFrame(bytes.NewReader(input))
+		if err != nil {
+			if errors.Is(err, io.EOF) && len(input) == 0 {
+				return
+			}
+			if !errors.Is(err, wireproto.ErrBadFrame) {
+				t.Fatalf("frame rejection does not wrap ErrBadFrame: %v", err)
+			}
+			return
+		}
+		buf, err := wireproto.AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v (%#v)", err, m)
+		}
+		m2, err := wireproto.ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v (%#v)", err, m)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("lossy frame round trip:\nfirst  %#v\nsecond %#v", m, m2)
+		}
+	})
+}
+
+// driveGroupAccepted pumps a fuzz-accepted session to completion answering
+// every question kind — subset, confirm, entity — with the bounded-round
+// guard of driveAccepted.
+func driveGroupAccepted(t *testing.T, c *Collection, s *Session) {
+	o, err := c.TargetOracle(c.Names()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := o.(GroupOracle)
+	for i := 0; i < 10000; i++ {
+		q, done := s.Next()
+		if done {
+			return
+		}
+		var a Answer
+		switch {
+		case q.IsSubset():
+			a = g.AnswerSubset(q.Subset, q.Semantics)
+		case q.IsConfirm():
+			a = No
+		default:
+			a = o.Answer(q.Entity)
+		}
+		if err := s.Answer(a); err != nil {
+			t.Fatalf("restored session rejected its own question: %v", err)
+		}
+	}
+	t.Fatal("restored session did not terminate within 10000 answers")
 }
 
 // fuzzShardCollection builds a fresh paper collection inside a fuzz

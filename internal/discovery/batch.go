@@ -190,7 +190,7 @@ type Batch struct {
 // no candidate yields a member that is immediately done with
 // ErrNoCandidates from its Result, mirroring NewSession.
 func NewBatch(c *dataset.Collection, seeds [][]dataset.Entity, f strategy.Factory, opts Options) (*Batch, error) {
-	if f == nil {
+	if f == nil && opts.Group == nil {
 		return nil, errors.New("discovery: NewBatch requires a strategy factory")
 	}
 	if opts.Strategy != nil {
@@ -207,10 +207,14 @@ func NewBatch(c *dataset.Collection, seeds [][]dataset.Entity, f strategy.Factor
 	if !opts.noScratch {
 		sched.scratch = dataset.NewScratch()
 	}
-	if sf, ok := f.(strategy.ScratchFactory); ok && sched.scratch != nil {
-		opts.Strategy = sf.NewWithScratch(sched.scratch)
-	} else {
-		opts.Strategy = f.New()
+	// Group batches run each member's subset selection directly (the memos
+	// are entity-keyed); members still share the batch-wide arena.
+	if opts.Group == nil {
+		if sf, ok := f.(strategy.ScratchFactory); ok && sched.scratch != nil {
+			opts.Strategy = sf.NewWithScratch(sched.scratch)
+		} else {
+			opts.Strategy = f.New()
+		}
 	}
 	b := &Batch{sched: sched, members: make([]*Session, 0, len(seeds))}
 	for i, initial := range seeds {

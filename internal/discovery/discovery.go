@@ -12,9 +12,11 @@ package discovery
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/grouptest"
 	"setdiscovery/internal/rng"
 	"setdiscovery/internal/strategy"
 )
@@ -51,6 +53,12 @@ type Oracle interface {
 	Answer(e dataset.Entity) Answer
 }
 
+// GroupOracle is an optional Oracle capability: answering set-valued
+// questions (Options.Group sessions). Run requires it for group sessions.
+type GroupOracle interface {
+	AnswerSubset(members []dataset.Entity, sem grouptest.Semantics) Answer
+}
+
 // Confirmer is an optional Oracle capability: once discovery has narrowed
 // the candidates to a single set, the user confirms or rejects it. A
 // rejection signals that some earlier answer was wrong, which is the
@@ -83,6 +91,24 @@ func (o TargetOracle) Answer(e dataset.Entity) Answer {
 // Confirm implements Confirmer: only the true target is accepted.
 func (o TargetOracle) Confirm(s *dataset.Set) bool { return s == o.Target }
 
+// AnswerSubset implements GroupOracle truthfully for the known target.
+func (o TargetOracle) AnswerSubset(members []dataset.Entity, sem grouptest.Semantics) Answer {
+	if sem == grouptest.SubsetOfTarget {
+		for _, e := range members {
+			if !o.Target.Contains(e) {
+				return No
+			}
+		}
+		return Yes
+	}
+	for _, e := range members {
+		if o.Target.Contains(e) {
+			return Yes
+		}
+	}
+	return No
+}
+
 // NoisyOracle wraps an oracle and flips its yes/no answers with probability
 // P (§6 "Possibility of errors in answers"). Unknown answers pass through.
 type NoisyOracle struct {
@@ -95,6 +121,25 @@ type NoisyOracle struct {
 // Answer implements Oracle.
 func (o *NoisyOracle) Answer(e dataset.Entity) Answer {
 	a := o.Inner.Answer(e)
+	if a == Unknown || o.R.Float64() >= o.P {
+		return a
+	}
+	o.Flips++
+	if a == Yes {
+		return No
+	}
+	return Yes
+}
+
+// AnswerSubset implements GroupOracle: group answers flip with the same
+// probability as entity answers (a lying group oracle, for §6 recovery).
+// An inner oracle without group support yields Unknown.
+func (o *NoisyOracle) AnswerSubset(members []dataset.Entity, sem grouptest.Semantics) Answer {
+	g, ok := o.Inner.(GroupOracle)
+	if !ok {
+		return Unknown
+	}
+	a := g.AnswerSubset(members, sem)
 	if a == Unknown || o.R.Float64() >= o.P {
 		return a
 	}
@@ -129,6 +174,21 @@ func (o UnsureOracle) Answer(e dataset.Entity) Answer {
 	return o.Inner.Answer(e)
 }
 
+// AnswerSubset implements GroupOracle: a question touching any unsure
+// entity is unanswerable as a whole. An inner oracle without group support
+// yields Unknown too.
+func (o UnsureOracle) AnswerSubset(members []dataset.Entity, sem grouptest.Semantics) Answer {
+	for _, e := range members {
+		if o.Unsure[e] {
+			return Unknown
+		}
+	}
+	if g, ok := o.Inner.(GroupOracle); ok {
+		return g.AnswerSubset(members, sem)
+	}
+	return Unknown
+}
+
 // Confirm forwards to the inner oracle; without inner support any set is
 // accepted.
 func (o UnsureOracle) Confirm(s *dataset.Set) bool {
@@ -138,10 +198,23 @@ func (o UnsureOracle) Confirm(s *dataset.Set) bool {
 	return true
 }
 
-// Question records one asked membership question and its answer.
+// Question records one asked question and its answer. A set-valued
+// (group-testing) question carries its subset and semantics and leaves
+// Entity zero; Subset == nil marks the ordinary entity kind.
 type Question struct {
-	Entity dataset.Entity
-	Answer Answer
+	Entity    dataset.Entity
+	Subset    []dataset.Entity
+	Semantics grouptest.Semantics
+	Answer    Answer
+}
+
+// sameQuestion reports whether q asks about the same entity or subset as
+// the trail entry (kind-sensitive; answers are not compared).
+func (q Question) sameQuestion(te trailEntry) bool {
+	if te.subset == nil {
+		return q.Subset == nil && q.Entity == te.entity
+	}
+	return q.Semantics == te.sem && slices.Equal(q.Subset, te.subset)
 }
 
 // Options configures a discovery run.
@@ -167,6 +240,15 @@ type Options struct {
 	// implements Confirmer; a rejection triggers backtracking (§6 error
 	// recovery). Requires Backtrack for recovery to proceed.
 	ConfirmTarget bool
+
+	// Group switches the session to set-valued (group-testing) questions:
+	// every interaction asks about a subset of entities chosen by this
+	// strategy instead of a single entity. Group sessions ignore Strategy,
+	// BatchSize and Memo (subset selections are not entity-memoisable);
+	// questions surface through Session.PendingSubset and answers partition
+	// by the subset's semantics. An Unknown reply excludes every member of
+	// the subset. Like Strategy, the instance is owned by this run.
+	Group grouptest.Strategy
 
 	// Memo, when non-nil, routes the solo session's selections through a
 	// collection-wide SelectionMemo so concurrent and successive sessions at
@@ -221,12 +303,25 @@ var ErrNoCandidates = errors.New("discovery: no candidate set contains the initi
 // and backtracking is disabled or exhausted.
 var ErrContradiction = errors.New("discovery: answers are inconsistent with every candidate set")
 
-// trailEntry records state needed to revisit an answer.
+// trailEntry records state needed to revisit an answer. A group-question
+// entry carries the asked subset (non-nil) and its semantics instead of an
+// entity.
 type trailEntry struct {
 	before  *dataset.Subset // candidates before the question was applied
 	entity  dataset.Entity
+	subset  []dataset.Entity // non-nil for group questions
+	sem     grouptest.Semantics
 	answer  Answer // answer as applied (after any flip)
 	flipped bool   // whether recovery already flipped this answer
+}
+
+// reapply narrows the entry's pre-partition candidates by answer a,
+// dispatching on the entry's question kind (unpooled, like backtrack).
+func (te trailEntry) reapply(a Answer) *dataset.Subset {
+	if te.subset != nil {
+		return applyGroup(te.before, te.subset, te.sem, a)
+	}
+	return apply(te.before, te.entity, a)
 }
 
 // Run executes Algorithm 2: filter the collection to supersets of initial,
@@ -256,6 +351,16 @@ func Run(c *dataset.Collection, initial []dataset.Entity, o Oracle, opts Options
 				a = Yes
 			}
 			if err := s.Answer(a); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if members, sem, ok := s.PendingSubset(); ok {
+			g, canGroup := o.(GroupOracle)
+			if !canGroup {
+				return nil, errors.New("discovery: group session requires a GroupOracle")
+			}
+			if err := s.Answer(g.AnswerSubset(members, sem)); err != nil {
 				return nil, err
 			}
 			continue
@@ -295,6 +400,31 @@ func applyScratch(cs *dataset.Subset, e dataset.Entity, a Answer, sc *dataset.Sc
 	}
 	with.Release()
 	return without
+}
+
+// applyGroup narrows the candidates by one answered group question: the
+// yes half under the subset's semantics, or its complement.
+func applyGroup(cs *dataset.Subset, members []dataset.Entity, sem grouptest.Semantics, a Answer) *dataset.Subset {
+	yes, no := cs.PartitionGroup(members, sem == grouptest.SubsetOfTarget)
+	if a == Yes {
+		return yes
+	}
+	return no
+}
+
+// applyGroupScratch is applyGroup through the session scratch, mirroring
+// applyScratch: the half ruled out by the answer is recycled on the spot.
+func applyGroupScratch(cs *dataset.Subset, members []dataset.Entity, sem grouptest.Semantics, a Answer, sc *dataset.Scratch) *dataset.Subset {
+	if sc == nil {
+		return applyGroup(cs, members, sem, a)
+	}
+	yes, no := cs.PartitionGroupScratch(members, sem == grouptest.SubsetOfTarget, sc)
+	if a == Yes {
+		no.Release()
+		return yes
+	}
+	yes.Release()
+	return no
 }
 
 // selectBatch picks the entities for the next interaction: the strategy's
@@ -392,11 +522,11 @@ func backtrack(trail []trailEntry, opts Options, res *Result) (*dataset.Subset, 
 		if e.answer == Yes {
 			flippedAnswer = No
 		}
-		cs := apply(e.before, e.entity, flippedAnswer)
+		cs := e.reapply(flippedAnswer)
 		// Record the flip in the asked log so Asked reflects answers as
 		// finally used.
 		for j := len(res.Asked) - 1; j >= 0; j-- {
-			if res.Asked[j].Entity == e.entity {
+			if res.Asked[j].sameQuestion(e) {
 				res.Asked[j].Answer = flippedAnswer
 				break
 			}
@@ -410,7 +540,7 @@ func backtrack(trail []trailEntry, opts Options, res *Result) (*dataset.Subset, 
 		}
 		trail = trail[:i]
 		trail = append(trail, trailEntry{before: e.before, entity: e.entity,
-			answer: flippedAnswer, flipped: true})
+			subset: e.subset, sem: e.sem, answer: flippedAnswer, flipped: true})
 		if cs.Size() > 0 {
 			return cs, trail, nil
 		}

@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"errors"
+	"slices"
 	"testing"
 
 	"setdiscovery/internal/cost"
@@ -19,7 +20,8 @@ func sameQuestions(a, b []Question) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].Entity != b[i].Entity || a[i].Answer != b[i].Answer ||
+			a[i].Semantics != b[i].Semantics || !slices.Equal(a[i].Subset, b[i].Subset) {
 			return false
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"setdiscovery/internal/cache"
 	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/grouptest"
 	"setdiscovery/internal/tree"
 )
 
@@ -94,6 +95,14 @@ type Session struct {
 	pending dataset.Entity
 	confirm *dataset.Set
 	err     error
+
+	// pendingSub/pendingSem hold the suspended set-valued question of a
+	// group session (Options.Group); pending is unused in that mode. Group
+	// sessions run one subset question per interaction — the batch slice
+	// above stays empty — and bypass every entity-keyed memo (collection
+	// memo and batch scheduler alike): selection and partition run direct.
+	pendingSub []dataset.Entity
+	pendingSem grouptest.Semantics
 }
 
 // NewSession starts a discovery session: filter the collection to supersets
@@ -110,7 +119,7 @@ func NewSession(c *dataset.Collection, initial []dataset.Entity, opts Options) (
 // batch of one on this code path). Batch members draw their scratch from
 // the scheduler so the whole batch runs against one arena.
 func newScheduledSession(c *dataset.Collection, initial []dataset.Entity, opts Options, sched *scheduler) (*Session, error) {
-	if opts.Strategy == nil {
+	if opts.Strategy == nil && opts.Group == nil {
 		return nil, errors.New("discovery: Options.Strategy is required")
 	}
 	if opts.Backtrack && opts.MaxBacktracks == 0 {
@@ -146,7 +155,8 @@ func newScheduledSession(c *dataset.Collection, initial []dataset.Entity, opts O
 // be called any number of times (e.g. by a client re-fetching its question)
 // and keeps returning the same entity until Answer is called. When the
 // session is waiting for a confirmation instead of a membership answer,
-// Next returns (0, false) and PendingConfirm reports the candidate.
+// Next returns (0, false) and PendingConfirm reports the candidate; for a
+// group session's subset question, PendingSubset reports it likewise.
 func (s *Session) Next() (dataset.Entity, bool) {
 	if s.state == stateDone {
 		return 0, true
@@ -155,6 +165,18 @@ func (s *Session) Next() (dataset.Entity, bool) {
 		return 0, false
 	}
 	return s.pending, false
+}
+
+// PendingSubset reports the suspended set-valued question of a group
+// session: the entities asked about and the semantics to judge them under.
+// Like Next it is idempotent; it reports false for entity sessions, in the
+// confirming state, and once done. The returned slice is the session's own
+// — callers must not mutate it.
+func (s *Session) PendingSubset() ([]dataset.Entity, grouptest.Semantics, bool) {
+	if s.state != stateAsk || s.pendingSub == nil {
+		return nil, 0, false
+	}
+	return s.pendingSub, s.pendingSem, true
 }
 
 // PendingConfirm reports whether the session is waiting for the user to
@@ -206,9 +228,12 @@ func (s *Session) Answer(a Answer) error {
 		if a != Yes && a != No && a != Unknown {
 			return ErrInvalidAnswer
 		}
+		if s.pendingSub != nil {
+			return s.answerGroup(a)
+		}
 		e := s.pending
 		s.res.Questions++
-		s.res.Asked = append(s.res.Asked, Question{e, a})
+		s.res.Asked = append(s.res.Asked, Question{Entity: e, Answer: a})
 		switch a {
 		case Unknown:
 			s.res.Unknowns++
@@ -243,12 +268,92 @@ func (s *Session) Answer(a Answer) error {
 	}
 }
 
+// answerGroup applies the user's reply to the pending set-valued question.
+// It mirrors the entity path of Answer: an Unknown excludes every member of
+// the subset (the whole question was unanswerable), a Yes/No partitions by
+// the subset's semantics through the session scratch.
+func (s *Session) answerGroup(a Answer) error {
+	members, sem := s.pendingSub, s.pendingSem
+	s.pendingSub = nil
+	s.res.Questions++
+	s.res.Asked = append(s.res.Asked, Question{Subset: members, Semantics: sem, Answer: a})
+	switch a {
+	case Unknown:
+		s.res.Unknowns++
+		for _, e := range members {
+			s.excluded[e] = true
+		}
+	case Yes, No:
+		old := s.cs
+		// lint:owns — the session owns cs; finish/releaseTrail recycle it.
+		s.cs = applyGroupScratch(old, members, sem, a, s.scratch)
+		if s.opts.Backtrack {
+			s.trail = append(s.trail, trailEntry{before: old, subset: members, sem: sem, answer: a})
+		} else {
+			old.Release()
+		}
+		if s.cs.Size() == 0 {
+			// Unreachable for strategies honouring the proper-split contract;
+			// recover like the batch path if one ever slips.
+			s.contradiction = true
+		}
+	}
+	s.advance()
+	return nil
+}
+
+// advanceGroup is the group session's advance: no multiple-choice batches,
+// one strategy-selected subset question per interaction.
+func (s *Session) advanceGroup() {
+	if s.contradiction {
+		s.contradiction = false
+		cs, trail, err := backtrack(s.trail, s.opts, s.res)
+		s.trail = trail
+		if err != nil {
+			s.finish(err)
+			return
+		}
+		s.cs.Release()
+		s.cs = cs
+	}
+	if s.cs.Size() > 1 && !(s.opts.MaxQuestions > 0 && s.res.Questions >= s.opts.MaxQuestions) {
+		if q, ok := s.selectGroup(); ok {
+			s.res.Interactions++
+			s.pendingSub = q.Members
+			s.pendingSem = q.Semantics
+			s.state = stateAsk
+			return
+		}
+		// Every informative entity was excluded by "don't know" replies: halt.
+	}
+	if s.cs.Size() == 1 && s.opts.ConfirmTarget {
+		s.res.Questions++
+		s.res.Interactions++
+		s.confirm = s.cs.Single()
+		s.state = stateConfirm
+		return
+	}
+	s.finish(nil)
+}
+
+// selectGroup asks the group strategy for the next subset, on the
+// selection-time clock. Group selections bypass every entity-keyed memo.
+func (s *Session) selectGroup() (grouptest.QuestionSubset, bool) {
+	start := time.Now()
+	defer func() { s.res.SelectionTime += time.Since(start) }()
+	return s.opts.Group.SelectSubset(s.cs, s.excluded)
+}
+
 // advance runs the deterministic part of Algorithm 2 until the next point
 // where a user answer is needed (stateAsk or stateConfirm) or the session
 // finishes. It mirrors Run's control flow: continue the in-flight batch,
 // recover from contradictions, select the next interaction, ask for final
 // confirmation.
 func (s *Session) advance() {
+	if s.opts.Group != nil {
+		s.advanceGroup()
+		return
+	}
 	for {
 		if s.inBatch {
 			// Mid-interaction: ask the next batch entity while several
@@ -412,7 +517,7 @@ func (s *TreeSession) Answer(a Answer) error {
 	defer func() { s.res.SelectionTime += time.Since(start) }()
 	s.res.Questions++
 	s.res.Interactions++
-	s.res.Asked = append(s.res.Asked, Question{s.n.Entity, a})
+	s.res.Asked = append(s.res.Asked, Question{Entity: s.n.Entity, Answer: a})
 	switch a {
 	case Yes:
 		s.n = s.n.Yes

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"setdiscovery/internal/dataset"
+	"setdiscovery/internal/grouptest"
 	"setdiscovery/internal/strategy"
 	"setdiscovery/internal/tree"
 )
@@ -39,7 +40,16 @@ import (
 
 // stateVersion is the version byte leading every encoded state. Bump it
 // when the layout changes; decoders reject versions they do not know.
-const stateVersion = 1
+//
+// Version 2 carries the set-valued question kind of group sessions
+// (Options.Group): a pending-subset section, and per-question kind bytes in
+// the trail and asked log. Sessions without a group strategy keep emitting
+// version 1 byte-identically; a version-2 state requires group options to
+// decode (and vice versa), so the two layouts can never be confused.
+const (
+	stateVersion      = 1
+	stateVersionGroup = 2
+)
 
 // errCorruptState is wrapped by every decoder failure.
 var errCorruptState = errors.New("discovery: corrupt session state")
@@ -238,18 +248,60 @@ func (r *stateReader) answer() (Answer, error) {
 	return Answer(b), nil
 }
 
+// question reads one asked-question key: in a version-1 state a bare
+// entity, in a version-2 (group) state a kind byte followed by an entity
+// (kind 0) or semantics plus a non-empty subset (kind 1).
+func (r *stateReader) question(group bool) (dataset.Entity, []dataset.Entity, grouptest.Semantics, error) {
+	if !group {
+		e, err := r.entity()
+		return e, nil, 0, err
+	}
+	kind, err := r.u8()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	switch kind {
+	case 0:
+		e, err := r.entity()
+		return e, nil, 0, err
+	case 1:
+		sem, err := r.u8()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if sem > byte(grouptest.SubsetOfTarget) {
+			return 0, nil, 0, corrupt("bad subset semantics %d", sem)
+		}
+		members, err := r.entities()
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if len(members) == 0 {
+			return 0, nil, 0, corrupt("empty question subset")
+		}
+		return 0, members, grouptest.Semantics(sem), nil
+	default:
+		return 0, nil, 0, corrupt("bad question kind %d", kind)
+	}
+}
+
 // EncodeState serializes the session's resumable state. It is
 // non-destructive: the session continues unaffected, so a serving layer can
 // export state on every round-trip. Restore with DecodeSession (or
 // NewBatch's decoding counterpart for batch members).
 func (s *Session) EncodeState() []byte {
 	w := &stateWriter{buf: make([]byte, 0, 256)}
-	w.u8(stateVersion)
+	if s.opts.Group != nil {
+		w.u8(stateVersionGroup)
+	} else {
+		w.u8(stateVersion)
+	}
 	s.encodeInto(w)
 	return w.buf
 }
 
 func (s *Session) encodeInto(w *stateWriter) {
+	group := s.opts.Group != nil
 	w.u8(byte(s.state))
 	var flags byte
 	if s.inBatch {
@@ -261,8 +313,15 @@ func (s *Session) encodeInto(w *stateWriter) {
 	if s.cs != nil {
 		flags |= 4
 	}
+	if group && s.pendingSub != nil {
+		flags |= 8
+	}
 	w.u8(flags)
 	w.uvarint(uint64(s.pending))
+	if flags&8 != 0 {
+		w.u8(byte(s.pendingSem))
+		w.entities(s.pendingSub)
+	}
 	if s.confirm != nil {
 		w.uvarint(uint64(s.confirm.Index) + 1)
 	} else {
@@ -277,7 +336,18 @@ func (s *Session) encodeInto(w *stateWriter) {
 	w.uvarint(uint64(len(s.trail)))
 	for _, te := range s.trail {
 		w.subset(te.before)
-		w.uvarint(uint64(te.entity))
+		if group {
+			if te.subset != nil {
+				w.u8(1)
+				w.u8(byte(te.sem))
+				w.entities(te.subset)
+			} else {
+				w.u8(0)
+				w.uvarint(uint64(te.entity))
+			}
+		} else {
+			w.uvarint(uint64(te.entity))
+		}
 		w.u8(byte(te.answer))
 		w.bool(te.flipped)
 	}
@@ -288,7 +358,18 @@ func (s *Session) encodeInto(w *stateWriter) {
 	w.uvarint(uint64(s.res.SelectionTime))
 	w.uvarint(uint64(len(s.res.Asked)))
 	for _, q := range s.res.Asked {
-		w.uvarint(uint64(q.Entity))
+		if group {
+			if q.Subset != nil {
+				w.u8(1)
+				w.u8(byte(q.Semantics))
+				w.entities(q.Subset)
+			} else {
+				w.u8(0)
+				w.uvarint(uint64(q.Entity))
+			}
+		} else {
+			w.uvarint(uint64(q.Entity))
+		}
 		w.u8(byte(q.Answer))
 	}
 	if s.state == stateDone {
@@ -343,10 +424,10 @@ func DecodeSession(c *dataset.Collection, opts Options, data []byte) (*Session, 
 	if err != nil {
 		return nil, err
 	}
-	if v != stateVersion {
+	if v != stateVersion && v != stateVersionGroup {
 		return nil, corrupt("unknown state version %d", v)
 	}
-	s, err := decodeSessionInto(c, opts, soloScheduler, r)
+	s, err := decodeSessionInto(c, opts, soloScheduler, r, v)
 	if err != nil {
 		return nil, err
 	}
@@ -360,8 +441,15 @@ func DecodeSession(c *dataset.Collection, opts Options, data []byte) (*Session, 
 // newScheduledSession's construction (options normalisation, scratch
 // wiring) but restores the suspended fields instead of running the opening
 // selection.
-func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r *stateReader) (*Session, error) {
-	if opts.Strategy == nil {
+func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r *stateReader, version byte) (*Session, error) {
+	group := version == stateVersionGroup
+	if group && opts.Group == nil {
+		return nil, corrupt("group state requires group options")
+	}
+	if !group && opts.Group != nil {
+		return nil, corrupt("group options with a non-group state")
+	}
+	if opts.Strategy == nil && opts.Group == nil {
 		return nil, errors.New("discovery: Options.Strategy is required")
 	}
 	if opts.Backtrack && opts.MaxBacktracks == 0 {
@@ -378,12 +466,39 @@ func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r 
 	if err != nil {
 		return nil, err
 	}
-	if flags&^byte(7) != 0 {
+	validFlags := byte(7)
+	if group {
+		validFlags = 15
+	}
+	if flags&^validFlags != 0 {
 		return nil, corrupt("bad flags %#x", flags)
 	}
 	pending, err := r.entity()
 	if err != nil {
 		return nil, err
+	}
+	var pendingSub []dataset.Entity
+	var pendingSem grouptest.Semantics
+	if flags&8 != 0 {
+		if stateByte != byte(stateAsk) {
+			return nil, corrupt("pending subset outside the asking state")
+		}
+		sem, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if sem > byte(grouptest.SubsetOfTarget) {
+			return nil, corrupt("bad subset semantics %d", sem)
+		}
+		pendingSem = grouptest.Semantics(sem)
+		if pendingSub, err = r.entities(); err != nil {
+			return nil, err
+		}
+		if len(pendingSub) == 0 {
+			return nil, corrupt("empty pending subset")
+		}
+	} else if group && stateByte == byte(stateAsk) {
+		return nil, corrupt("group session asking without a pending subset")
 	}
 	confirmIdx, err := r.uvarint()
 	if err != nil {
@@ -423,19 +538,17 @@ func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r 
 		if err != nil {
 			return nil, err
 		}
-		e, err := r.entity()
-		if err != nil {
+		te := trailEntry{before: before}
+		if te.entity, te.subset, te.sem, err = r.question(group); err != nil {
 			return nil, err
 		}
-		a, err := r.answer()
-		if err != nil {
+		if te.answer, err = r.answer(); err != nil {
 			return nil, err
 		}
-		flipped, err := r.bool()
-		if err != nil {
+		if te.flipped, err = r.bool(); err != nil {
 			return nil, err
 		}
-		trail = append(trail, trailEntry{before: before, entity: e, answer: a, flipped: flipped})
+		trail = append(trail, te)
 	}
 	res := &Result{}
 	counters := []*int{&res.Questions, &res.Interactions, &res.Unknowns, &res.Backtracks}
@@ -463,15 +576,14 @@ func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r 
 	}
 	res.Asked = make([]Question, 0, nAsked)
 	for i := 0; i < nAsked; i++ {
-		e, err := r.entity()
-		if err != nil {
+		var q Question
+		if q.Entity, q.Subset, q.Semantics, err = r.question(group); err != nil {
 			return nil, err
 		}
-		a, err := r.answer()
-		if err != nil {
+		if q.Answer, err = r.answer(); err != nil {
 			return nil, err
 		}
-		res.Asked = append(res.Asked, Question{Entity: e, Answer: a})
+		res.Asked = append(res.Asked, q)
 	}
 
 	excluded := make(map[dataset.Entity]bool, len(excludedList))
@@ -491,6 +603,8 @@ func decodeSessionInto(c *dataset.Collection, opts Options, sched *scheduler, r 
 		contradiction: flags&2 != 0,
 		state:         sessionState(stateByte),
 		pending:       pending,
+		pendingSub:    pendingSub,
+		pendingSem:    pendingSem,
 	}
 	if !opts.noScratch {
 		if sched.shared {
@@ -626,7 +740,11 @@ func DecodeTreeSession(c *dataset.Collection, t *tree.Tree, data []byte) (*TreeS
 // memos are not state — they are rebuilt as the next round's answers arrive.
 func (b *Batch) EncodeState() []byte {
 	w := &stateWriter{buf: make([]byte, 0, 256*len(b.members))}
-	w.u8(stateVersion)
+	if len(b.members) > 0 && b.members[0].opts.Group != nil {
+		w.u8(stateVersionGroup)
+	} else {
+		w.u8(stateVersion)
+	}
 	st := b.sched.stats
 	for _, v := range []int64{st.Selections, st.SelectionsShared, st.Partitions, st.PartitionsShared, st.Rounds} {
 		w.uvarint(uint64(v))
@@ -643,7 +761,7 @@ func (b *Batch) EncodeState() []byte {
 // must be nil; members resume against a fresh batch-wide arena and shared
 // scheduler, and keep amortising exactly as the original batch did.
 func DecodeBatch(c *dataset.Collection, f strategy.Factory, opts Options, data []byte) (*Batch, error) {
-	if f == nil {
+	if f == nil && opts.Group == nil {
 		return nil, errors.New("discovery: DecodeBatch requires a strategy factory")
 	}
 	if opts.Strategy != nil {
@@ -654,7 +772,7 @@ func DecodeBatch(c *dataset.Collection, f strategy.Factory, opts Options, data [
 	if err != nil {
 		return nil, err
 	}
-	if v != stateVersion {
+	if v != stateVersion && v != stateVersionGroup {
 		return nil, corrupt("unknown state version %d", v)
 	}
 	var st BatchStats
@@ -684,14 +802,16 @@ func DecodeBatch(c *dataset.Collection, f strategy.Factory, opts Options, data [
 	if !opts.noScratch {
 		sched.scratch = dataset.NewScratch()
 	}
-	if sf, ok := f.(strategy.ScratchFactory); ok && sched.scratch != nil {
-		opts.Strategy = sf.NewWithScratch(sched.scratch)
-	} else {
-		opts.Strategy = f.New()
+	if opts.Group == nil {
+		if sf, ok := f.(strategy.ScratchFactory); ok && sched.scratch != nil {
+			opts.Strategy = sf.NewWithScratch(sched.scratch)
+		} else {
+			opts.Strategy = f.New()
+		}
 	}
 	b := &Batch{sched: sched, members: make([]*Session, 0, n)}
 	for i := 0; i < n; i++ {
-		m, err := decodeSessionInto(c, opts, sched, r)
+		m, err := decodeSessionInto(c, opts, sched, r, v)
 		if err != nil {
 			return nil, fmt.Errorf("batch member %d: %w", i, err)
 		}

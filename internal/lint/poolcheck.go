@@ -17,8 +17,9 @@ import (
 //
 // Ownership model, matching how the codebase actually uses the pool:
 //
-//   - Acquire: calling PartitionScratch on a subset, or calling a
-//     same-package function that (transitively) returns such a result.
+//   - Acquire: calling PartitionScratch or PartitionGroupScratch on a
+//     subset, or calling a same-package function that (transitively)
+//     returns such a result.
 //   - Discharge: Release (exactly once), Unpool, Retain (a second owner now
 //     exists, so per-value tracking ends), returning the value, deferring
 //     its Release, or passing it to a same-package function that consumes
@@ -93,7 +94,7 @@ func (s *poolSummaries) acquireResults(info *types.Info, call *ast.CallExpr) map
 	if !ok {
 		return nil
 	}
-	if f.Name() == "PartitionScratch" && sig.Recv() != nil && isPooledSubset(sig.Recv().Type()) {
+	if (f.Name() == "PartitionScratch" || f.Name() == "PartitionGroupScratch") && sig.Recv() != nil && isPooledSubset(sig.Recv().Type()) {
 		owned := map[int]bool{}
 		for i := 0; i < sig.Results().Len(); i++ {
 			if isPooledSubset(sig.Results().At(i).Type()) {

@@ -246,6 +246,7 @@ func (rt *Router) resurrectFrom(ctx context.Context, dead *backend) {
 			continue
 		}
 		resurrected++
+		rt.metrics.resurrections.Add(1)
 	}
 	if resurrected+lost > 0 {
 		rt.logf("router: backend %s dead: resurrected %d resource(s) from last-known snapshots, %d unrecoverable",

@@ -116,6 +116,7 @@ func (rt *Router) doProxy(ctx context.Context, method string, b *backend, path, 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return 0, nil, fmt.Errorf("backend %s unreachable: %w", b.name, err)
@@ -125,6 +126,10 @@ func (rt *Router) doProxy(ctx context.Context, method string, b *backend, path, 
 	if err != nil {
 		return 0, nil, fmt.Errorf("backend %s: reading response: %w", b.name, err)
 	}
+	// Only completed rounds feed the latency window: a failed dial or a
+	// truncated body is an availability event (the health loop's business),
+	// not a latency sample.
+	rt.metrics.observeRound(b.name, time.Since(start))
 	return resp.StatusCode, respBody, nil
 }
 

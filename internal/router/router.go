@@ -185,6 +185,8 @@ type Router struct {
 	spMu           sync.Mutex             // guards streamPools (lock order: mu before spMu)
 	streamPools    map[string]*streamPool // per-backend stream connections (stream.go)
 	streamPoolSize int
+
+	metrics routerMetrics // /v1/metrics counters and latency windows (metrics.go)
 }
 
 // New builds an empty router; add engines with AddBackend. With WithPersist
@@ -552,6 +554,7 @@ func (rt *Router) migrateAll(moves []move) int {
 		}
 		if moved {
 			n++
+			rt.metrics.migrations.Add(1)
 		}
 	}
 	return n
@@ -651,6 +654,7 @@ func (rt *Router) Handler() http.Handler {
 		mux.HandleFunc(prefix+"/batches/{id}", rt.handleResource("batches"))
 		mux.HandleFunc("GET "+prefix+"/healthz", rt.handleHealthz)
 		mux.HandleFunc("GET "+prefix+"/stats", rt.handleStats)
+		mux.HandleFunc("GET "+prefix+"/metrics", rt.handleMetrics)
 	}
 	mux.HandleFunc("GET /v1/router/backends", rt.handleListBackends)
 	mux.HandleFunc("POST /v1/router/backends/{name}/drain", rt.handleDrain)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"reflect"
 	"strings"
@@ -239,6 +240,137 @@ func TestCompatVersionedAliasEquivalence(t *testing.T) {
 	}
 	if legacyQ.Questions != 1 || legacyQ.Entity != v1Q.Entity {
 		t.Errorf("answer through v1 not visible through legacy alias: %+v vs %+v", legacyQ, v1Q)
+	}
+}
+
+// TestCompatGroupSessionLegacyRoutes: group (set-valued question) sessions
+// are fully drivable over the legacy unversioned aliases — create, subset
+// question rounds with the assertion echo, mid-flight state export/import,
+// result — with no /v1/ anywhere in the path.
+func TestCompatGroupSessionLegacyRoutes(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	target := map[string]bool{"a": true, "d": true, "e": true} // S2
+
+	var q QuestionResponse
+	if code := do(t, "POST", ts.URL+"/collections/paper/sessions",
+		CreateSessionRequest{SessionConfig: SessionConfig{GroupStrategy: "halving"}}, &q); code != http.StatusCreated {
+		t.Fatalf("legacy group create: status %d", code)
+	}
+	if len(q.Subset) == 0 {
+		t.Fatalf("expected a subset question over the legacy alias, got %#v", q)
+	}
+	id := q.SessionID
+
+	// One answered round, then suspend: export over the legacy alias and
+	// import the snapshot under a fresh ID, also over the legacy alias.
+	if code := do(t, "POST", ts.URL+"/sessions/"+id+"/answer", AnswerRequest{
+		Answer: groupAnswer(target, q.Subset, q.Semantics), Subset: q.Subset, Semantics: q.Semantics,
+	}, &q); code != http.StatusOK {
+		t.Fatalf("legacy group answer: status %d", code)
+	}
+	var state StateResponse
+	if code := do(t, "GET", ts.URL+"/sessions/"+id+"/state", nil, &state); code != http.StatusOK {
+		t.Fatalf("legacy group state export: status %d", code)
+	}
+	twinID := "legacy-twin-" + id
+	var twinQ QuestionResponse
+	if code := do(t, "PUT", ts.URL+"/sessions/"+twinID+"/state",
+		ImportStateRequest{Collection: state.Collection, State: state.State}, &twinQ); code != http.StatusOK {
+		t.Fatalf("legacy group state import: status %d", code)
+	}
+
+	finish := func(id string, q QuestionResponse) ([]string, ResultResponse) {
+		var asked []string
+		for i := 0; !q.Done; i++ {
+			if i > 100 {
+				t.Fatal("legacy group session did not converge")
+			}
+			if len(q.Subset) == 0 {
+				t.Fatalf("expected a subset question, got %#v", q)
+			}
+			asked = append(asked, fmt.Sprintf("s:%s:%v", q.Semantics, q.Subset))
+			var next QuestionResponse
+			if code := do(t, "POST", ts.URL+"/sessions/"+id+"/answer", AnswerRequest{
+				Answer: groupAnswer(target, q.Subset, q.Semantics), Subset: q.Subset, Semantics: q.Semantics,
+			}, &next); code != http.StatusOK {
+				t.Fatalf("legacy group answer: status %d", code)
+			}
+			q = next
+		}
+		var res ResultResponse
+		if code := do(t, "GET", ts.URL+"/sessions/"+id+"/result", nil, &res); code != http.StatusOK {
+			t.Fatalf("legacy group result: status %d", code)
+		}
+		return asked, res
+	}
+	asked, res := finish(id, q)
+	twinAsked, twinRes := finish(twinID, twinQ)
+	if res.Target != "S2" || twinRes.Target != "S2" {
+		t.Fatalf("legacy group sessions resolved %q and %q, want S2", res.Target, twinRes.Target)
+	}
+	if !reflect.DeepEqual(asked, twinAsked) {
+		t.Fatalf("imported twin diverged from the original:\n original %v\n twin     %v", asked, twinAsked)
+	}
+}
+
+// TestCompatPreBumpSnapshotImport: snapshot envelopes produced before the
+// group version bump (version-1 delta-less sessions, version-2
+// shared-selection sessions) must keep importing over both surfaces — a
+// fleet mid-upgrade migrates old sessions onto new engines.
+func TestCompatPreBumpSnapshotImport(t *testing.T) {
+	_, ts, c := newTestServer(t)
+	oracle, err := c.TargetOracle("S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(opts ...setdiscovery.Option) []byte {
+		s, err := c.NewSession(nil, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q, done := s.Next(); !done && !q.IsConfirm() {
+			if err := s.Answer(oracle.Answer(q.Entity)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	envelopes := map[string][]byte{
+		"v1-delta-less":       mk(setdiscovery.WithSharedSelection(false)),
+		"v2-shared-selection": mk(),
+	}
+	for name, snap := range envelopes {
+		for _, prefix := range []string{"", "/v1"} {
+			id := fmt.Sprintf("prebump-%s%s", name, strings.ReplaceAll(prefix, "/", "-"))
+			var q QuestionResponse
+			if code := do(t, "PUT", ts.URL+prefix+"/sessions/"+id+"/state",
+				ImportStateRequest{Collection: "paper", State: snap}, &q); code != http.StatusOK {
+				t.Fatalf("%s via %q: import status %d", name, prefix, code)
+			}
+			for i := 0; !q.Done; i++ {
+				if i > 100 {
+					t.Fatalf("%s via %q: imported session did not converge", name, prefix)
+				}
+				var next QuestionResponse
+				if code := do(t, "POST", ts.URL+prefix+"/sessions/"+id+"/answer", AnswerRequest{
+					Answer: wireAnswer(oracle, q.Entity, q.Confirm), Entity: q.Entity, Confirm: q.Confirm,
+				}, &next); code != http.StatusOK {
+					t.Fatalf("%s via %q: answer status %d", name, prefix, code)
+				}
+				q = next
+			}
+			var res ResultResponse
+			if code := do(t, "GET", ts.URL+prefix+"/sessions/"+id+"/result", nil, &res); code != http.StatusOK {
+				t.Fatalf("%s via %q: result status %d", name, prefix, code)
+			}
+			if res.Target != "S4" {
+				t.Fatalf("%s via %q: discovered %q, want S4", name, prefix, res.Target)
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"setdiscovery"
 )
@@ -106,13 +107,13 @@ func (e *answerConflictError) Error() string { return e.err.Error() }
 func (e *answerConflictError) Unwrap() error { return e.err }
 
 // applyMemberAnswer is the shared answer core: it parses the wire answer,
-// validates the optional question assertion (entity/confirm echoed from the
-// question response, so a retried POST cannot land on the wrong question)
-// and applies the reply to member i. The parse runs first, matching the
-// pre-redesign session handler: a malformed answer is 400 even when the
-// assertion is stale too. It does not end the round — callers apply all of
-// a round's answers first.
-func (s *Stored) applyMemberAnswer(i int, answer, entity, confirm string) error {
+// validates the optional question assertion (entity/confirm/subset echoed
+// from the question response, so a retried POST cannot land on the wrong
+// question) and applies the reply to member i. The parse runs first,
+// matching the pre-redesign session handler: a malformed answer is 400 even
+// when the assertion is stale too. It does not end the round — callers
+// apply all of a round's answers first.
+func (s *Stored) applyMemberAnswer(i int, answer, entity, confirm string, subset []string, semantics string) error {
 	if i < 0 || i >= s.Members() {
 		return fmt.Errorf("resource has no member %d", i)
 	}
@@ -120,12 +121,18 @@ func (s *Stored) applyMemberAnswer(i int, answer, entity, confirm string) error 
 	if err != nil {
 		return err
 	}
-	if entity != "" || confirm != "" {
+	if entity != "" || confirm != "" || len(subset) > 0 {
 		q, done := s.Question(i)
-		if done || q.Entity != entity || q.Confirm != confirm {
+		stale := done || q.Entity != entity || q.Confirm != confirm || !slices.Equal(q.Subset, subset)
+		// The semantics assertion only binds alongside a subset — the other
+		// question kinds have none to compare.
+		if !stale && len(subset) > 0 && q.Semantics != semantics {
+			stale = true
+		}
+		if stale {
 			return &answerConflictError{fmt.Errorf(
-				"answer names question {entity:%q confirm:%q} but the pending question is {entity:%q confirm:%q}: it was likely already answered",
-				entity, confirm, q.Entity, q.Confirm)}
+				"answer names question {entity:%q confirm:%q subset:%v} but the pending question is {entity:%q confirm:%q subset:%v}: it was likely already answered",
+				entity, confirm, subset, q.Entity, q.Confirm, q.Subset)}
 		}
 	}
 	if s.Batch != nil {

@@ -345,6 +345,7 @@ func (s *Server) routes(mux *http.ServeMux, prefix string) {
 		mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
 	}
 	mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	mux.HandleFunc("GET "+prefix+"/metrics", s.handleMetrics)
 	mux.HandleFunc("GET "+prefix+"/cache/shard", s.handleExportCacheShard)
 	mux.HandleFunc("PUT "+prefix+"/cache/shard", s.handleImportCacheShard)
 	mux.HandleFunc("POST "+prefix+"/collections/{collection}/sessions", s.handleCreateSession)
@@ -586,6 +587,12 @@ func sessionOptions(cfg SessionConfig, base []setdiscovery.Option) ([]setdiscove
 	if cfg.Backtrack {
 		opts = append(opts, setdiscovery.WithBacktracking())
 	}
+	if cfg.GroupStrategy != "" {
+		opts = append(opts, setdiscovery.WithGroupStrategy(cfg.GroupStrategy))
+	}
+	for _, c := range cfg.GroupConstraints {
+		opts = append(opts, setdiscovery.WithGroupConstraint(c[0], c[1]))
+	}
 	return opts, nil
 }
 
@@ -612,7 +619,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.Mu.Lock()
-	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm)
+	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm, req.Subset, req.Semantics)
 	resp := questionSnapshot(id, st)
 	if err == nil {
 		resp.State = s.inlineState(r, st)
@@ -736,7 +743,7 @@ func (s *Server) handleBatchAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, ma := range req.Answers {
-		if err := st.applyMemberAnswer(ma.Member, ma.Answer, ma.Entity, ma.Confirm); err != nil {
+		if err := st.applyMemberAnswer(ma.Member, ma.Answer, ma.Entity, ma.Confirm, ma.Subset, ma.Semantics); err != nil {
 			memberErrs[ma.Member] = err.Error()
 		}
 	}
@@ -911,6 +918,8 @@ func batchSnapshot(id string, st *Stored, memberErrs map[int]string) BatchQuesti
 			Done:      done,
 			Entity:    q.Entity,
 			Confirm:   q.Confirm,
+			Subset:    q.Subset,
+			Semantics: q.Semantics,
 			Questions: st.QuestionsAsked(i),
 			Error:     memberErrs[i],
 		})
@@ -944,6 +953,8 @@ func questionSnapshot(id string, st *Stored) QuestionResponse {
 	resp.Done = done
 	resp.Entity = q.Entity
 	resp.Confirm = q.Confirm
+	resp.Subset = q.Subset
+	resp.Semantics = q.Semantics
 	resp.Questions = st.QuestionsAsked(0)
 	return resp
 }

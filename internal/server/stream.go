@@ -152,13 +152,15 @@ func (sc *streamConn) bind(ch uint64, id string) {
 // wireConfig maps the frame-level engine configuration to the JSON plane's.
 func wireConfig(cfg wireproto.SessionConfig) SessionConfig {
 	return SessionConfig{
-		Strategy:     cfg.Strategy,
-		K:            cfg.K,
-		Q:            cfg.Q,
-		Metric:       cfg.Metric,
-		MaxQuestions: cfg.MaxQuestions,
-		BatchSize:    cfg.BatchSize,
-		Backtrack:    cfg.Backtrack,
+		Strategy:         cfg.Strategy,
+		K:                cfg.K,
+		Q:                cfg.Q,
+		Metric:           cfg.Metric,
+		MaxQuestions:     cfg.MaxQuestions,
+		BatchSize:        cfg.BatchSize,
+		Backtrack:        cfg.Backtrack,
+		GroupStrategy:    cfg.GroupStrategy,
+		GroupConstraints: cfg.GroupConstraints,
 	}
 }
 
@@ -249,7 +251,7 @@ func (sc *streamConn) handleAnswer(req *wireproto.Answer) {
 		return
 	}
 	st.Mu.Lock()
-	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm)
+	err := st.applyMemberAnswer(0, req.Answer, req.Entity, req.Confirm, req.Subset, req.Semantics)
 	st.Mu.Unlock()
 	if err != nil {
 		status := http.StatusBadRequest
@@ -282,7 +284,7 @@ func (sc *streamConn) handleBatchAnswer(req *wireproto.BatchAnswer) {
 	}
 	memberErrs := make(map[int]string)
 	for _, ma := range req.Answers {
-		if err := st.applyMemberAnswer(ma.Member, ma.Answer, ma.Entity, ma.Confirm); err != nil {
+		if err := st.applyMemberAnswer(ma.Member, ma.Answer, ma.Entity, ma.Confirm, ma.Subset, ma.Semantics); err != nil {
 			memberErrs[ma.Member] = err.Error()
 		}
 	}
@@ -331,6 +333,8 @@ func (sc *streamConn) respondQuestion(ch uint64, id string, st *Stored, memberEr
 			Done:      done,
 			Entity:    q.Entity,
 			Confirm:   q.Confirm,
+			Subset:    q.Subset,
+			Semantics: q.Semantics,
 			Questions: st.QuestionsAsked(i),
 			Error:     memberErrs[i],
 		})

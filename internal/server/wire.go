@@ -28,6 +28,15 @@ type SessionConfig struct {
 	// Backtrack enables §6 error recovery: the session asks a final
 	// confirmation question and revisits earlier answers on rejection.
 	Backtrack bool `json:"backtrack,omitempty"`
+	// GroupStrategy switches the session to set-valued (group-testing)
+	// questions, selected by strategy name ("halving", "additive"). Group
+	// sessions ignore Strategy and BatchSize; K bounds the additive
+	// strategy's simultaneous-target count.
+	GroupStrategy string `json:"group_strategy,omitempty"`
+	// GroupConstraints are entity-name dependencies honoured by the additive
+	// strategy: each pair [if, then] states that any target containing "if"
+	// also contains "then".
+	GroupConstraints [][2]string `json:"group_constraints,omitempty"`
 }
 
 // CreateSessionRequest configures a new discovery session over a registered
@@ -47,13 +56,18 @@ type CreateSessionRequest struct {
 
 // QuestionResponse is the state of a session's pending interaction,
 // returned by create-session, get-question and post-answer. Exactly one of
-// Entity and Confirm is set while Done is false: Entity asks "is this
-// entity in your set?", Confirm asks "is this set your target?".
+// Entity, Subset and Confirm is set while Done is false: Entity asks "is
+// this entity in your set?", Subset asks a set-valued question under
+// Semantics ("intersects": "does your set share at least one of these?";
+// "subset-of": "is every one of these in your set?"), Confirm asks "is this
+// set your target?".
 type QuestionResponse struct {
-	SessionID string `json:"session_id"`
-	Done      bool   `json:"done"`
-	Entity    string `json:"entity,omitempty"`
-	Confirm   string `json:"confirm,omitempty"`
+	SessionID string   `json:"session_id"`
+	Done      bool     `json:"done"`
+	Entity    string   `json:"entity,omitempty"`
+	Confirm   string   `json:"confirm,omitempty"`
+	Subset    []string `json:"subset,omitempty"`
+	Semantics string   `json:"semantics,omitempty"`
 	// Questions counts membership answers received so far (confirmation
 	// questions are counted when asked, mirroring the engine).
 	Questions int `json:"questions"`
@@ -70,15 +84,17 @@ type QuestionResponse struct {
 // accepts the candidate and anything else rejects it, triggering
 // backtracking.
 //
-// Entity / Confirm, when non-empty, assert which question the answer is
-// for; a mismatch with the pending question is rejected with 409. Clients
-// should copy them from the QuestionResponse they are answering, so a
-// retried POST whose first attempt was applied but whose response was lost
-// cannot land on the wrong question.
+// Entity / Confirm / Subset (with Semantics), when non-empty, assert which
+// question the answer is for; a mismatch with the pending question is
+// rejected with 409. Clients should copy them from the QuestionResponse
+// they are answering, so a retried POST whose first attempt was applied but
+// whose response was lost cannot land on the wrong question.
 type AnswerRequest struct {
-	Answer  string `json:"answer"`
-	Entity  string `json:"entity,omitempty"`
-	Confirm string `json:"confirm,omitempty"`
+	Answer    string   `json:"answer"`
+	Entity    string   `json:"entity,omitempty"`
+	Confirm   string   `json:"confirm,omitempty"`
+	Subset    []string `json:"subset,omitempty"`
+	Semantics string   `json:"semantics,omitempty"`
 }
 
 // ResultBody is the outcome shape shared by session results and batch
@@ -143,17 +159,19 @@ type BatchQuestionResponse struct {
 	State []byte `json:"state,omitempty"`
 }
 
-// MemberQuestion is one member's pending interaction; the Entity/Confirm
-// semantics are those of QuestionResponse. Error reports a rejected reply
-// from the answers POST that produced this response (the other members'
-// replies still applied).
+// MemberQuestion is one member's pending interaction; the
+// Entity/Subset/Confirm semantics are those of QuestionResponse. Error
+// reports a rejected reply from the answers POST that produced this
+// response (the other members' replies still applied).
 type MemberQuestion struct {
-	Member    int    `json:"member"`
-	Done      bool   `json:"done"`
-	Entity    string `json:"entity,omitempty"`
-	Confirm   string `json:"confirm,omitempty"`
-	Questions int    `json:"questions"`
-	Error     string `json:"error,omitempty"`
+	Member    int      `json:"member"`
+	Done      bool     `json:"done"`
+	Entity    string   `json:"entity,omitempty"`
+	Confirm   string   `json:"confirm,omitempty"`
+	Subset    []string `json:"subset,omitempty"`
+	Semantics string   `json:"semantics,omitempty"`
+	Questions int      `json:"questions"`
+	Error     string   `json:"error,omitempty"`
 }
 
 // BatchAnswerRequest applies one round of replies (POST
@@ -165,14 +183,17 @@ type BatchAnswerRequest struct {
 	Answers []MemberAnswerRequest `json:"answers"`
 }
 
-// MemberAnswerRequest is one member's reply; Answer/Entity/Confirm have
-// AnswerRequest semantics (Entity/Confirm, when set, assert which question
-// is being answered so retried POSTs cannot land on the wrong one).
+// MemberAnswerRequest is one member's reply; Answer/Entity/Confirm/Subset
+// have AnswerRequest semantics (the assertion fields, when set, pin which
+// question is being answered so retried POSTs cannot land on the wrong
+// one).
 type MemberAnswerRequest struct {
-	Member  int    `json:"member"`
-	Answer  string `json:"answer"`
-	Entity  string `json:"entity,omitempty"`
-	Confirm string `json:"confirm,omitempty"`
+	Member    int      `json:"member"`
+	Answer    string   `json:"answer"`
+	Entity    string   `json:"entity,omitempty"`
+	Confirm   string   `json:"confirm,omitempty"`
+	Subset    []string `json:"subset,omitempty"`
+	Semantics string   `json:"semantics,omitempty"`
 }
 
 // BatchResultsResponse reports every member's outcome (GET

@@ -98,6 +98,14 @@ type SessionConfig struct {
 	MaxQuestions int
 	BatchSize    int
 	Backtrack    bool
+
+	// GroupStrategy selects set-valued (group-testing) questions by
+	// strategy name ("halving", "additive"); empty keeps entity questions.
+	// GroupConstraints are the "if implies then" entity-name dependencies
+	// honoured by the additive strategy. Both travel only when GroupStrategy
+	// is set (the createGroup flag), so pre-group frames are byte-identical.
+	GroupStrategy    string
+	GroupConstraints [][2]string
 }
 
 // Create binds a channel to a discovery resource. With AttachID set it
@@ -119,13 +127,17 @@ type Create struct {
 }
 
 // MemberQuestion is one member's pending interaction; Entity/Confirm have
-// the JSON plane's QuestionResponse semantics. Error reports a rejected
-// reply from the batch-answer frame that produced this response.
+// the JSON plane's QuestionResponse semantics. Subset/Semantics carry a
+// group session's set-valued question (the memberSubset flag; exactly one of
+// Entity, Confirm and Subset is set while Done is false). Error reports a
+// rejected reply from the batch-answer frame that produced this response.
 type MemberQuestion struct {
 	Member    int
 	Done      bool
 	Entity    string
 	Confirm   string
+	Subset    []string
+	Semantics string
 	Questions int
 	Error     string
 }
@@ -152,15 +164,19 @@ type Answer struct {
 	Answer    string
 	Entity    string
 	Confirm   string
+	Subset    []string // asserts the pending subset question (group sessions)
+	Semantics string
 	WantState bool
 }
 
 // MemberAnswer is one batch member's reply.
 type MemberAnswer struct {
-	Member  int
-	Answer  string
-	Entity  string
-	Confirm string
+	Member    int
+	Answer    string
+	Entity    string
+	Confirm   string
+	Subset    []string
+	Semantics string
 }
 
 // BatchAnswer applies one round of replies to a bound batch; per-member
@@ -242,12 +258,15 @@ func (w *writer) bytes(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
-// Create flag bits.
+// Create flag bits. createGroup gates the group-testing configuration
+// appended after the seeds — a pure extension: frames without the flag are
+// byte-identical to the pre-group encoding, so old peers interoperate.
 const (
 	createTree      = 1 << 0
 	createWantState = 1 << 1
 	createBatch     = 1 << 2
 	createBacktrack = 1 << 3
+	createGroup     = 1 << 4
 )
 
 func (m *Create) encodePayload(w *writer) {
@@ -263,6 +282,9 @@ func (m *Create) encodePayload(w *writer) {
 	}
 	if m.Config.Backtrack {
 		flags |= createBacktrack
+	}
+	if m.Config.GroupStrategy != "" {
+		flags |= createGroup
 	}
 	w.u8(flags)
 	w.str(m.AttachID)
@@ -280,13 +302,24 @@ func (m *Create) encodePayload(w *writer) {
 			w.str(s)
 		}
 	}
+	if m.Config.GroupStrategy != "" {
+		w.str(m.Config.GroupStrategy)
+		w.uvarint(uint64(len(m.Config.GroupConstraints)))
+		for _, c := range m.Config.GroupConstraints {
+			w.str(c[0])
+			w.str(c[1])
+		}
+	}
 }
 
-// Question flag bits.
+// Question flag bits. memberSubset gates a set-valued question's semantics
+// and member list appended after the per-member Error field; like
+// createGroup it is a pure extension over the pre-group member encoding.
 const (
 	questionDone     = 1 << 0
 	questionHasState = 1 << 1
 	memberDone       = 1 << 0
+	memberSubset     = 1 << 1
 )
 
 func (m *Question) encodePayload(w *writer) {
@@ -306,34 +339,70 @@ func (m *Question) encodePayload(w *writer) {
 		if mq.Done {
 			mf |= memberDone
 		}
+		if len(mq.Subset) > 0 {
+			mf |= memberSubset
+		}
 		w.u8(mf)
 		w.str(mq.Entity)
 		w.str(mq.Confirm)
 		w.uvarint(uint64(mq.Questions))
 		w.str(mq.Error)
+		if len(mq.Subset) > 0 {
+			w.str(mq.Semantics)
+			w.uvarint(uint64(len(mq.Subset)))
+			for _, s := range mq.Subset {
+				w.str(s)
+			}
+		}
 	}
 	if len(m.State) > 0 {
 		w.bytes(m.State)
 	}
 }
 
-const answerWantState = 1 << 0
+// Answer flag bits. answerSubset gates the subset-question assertion
+// appended after the entity/confirm assertions (for BatchAnswer: appended to
+// every member, empty for members asserting an entity or confirm question).
+const (
+	answerWantState = 1 << 0
+	answerSubset    = 1 << 1
+)
 
 func (m *Answer) encodePayload(w *writer) {
 	var flags byte
 	if m.WantState {
 		flags |= answerWantState
 	}
+	if len(m.Subset) > 0 {
+		flags |= answerSubset
+	}
 	w.u8(flags)
 	w.str(m.Answer)
 	w.str(m.Entity)
 	w.str(m.Confirm)
+	if len(m.Subset) > 0 {
+		w.str(m.Semantics)
+		w.uvarint(uint64(len(m.Subset)))
+		for _, s := range m.Subset {
+			w.str(s)
+		}
+	}
 }
 
 func (m *BatchAnswer) encodePayload(w *writer) {
 	var flags byte
 	if m.WantState {
 		flags |= answerWantState
+	}
+	group := false
+	for _, a := range m.Answers {
+		if len(a.Subset) > 0 {
+			group = true
+			break
+		}
+	}
+	if group {
+		flags |= answerSubset
 	}
 	w.u8(flags)
 	w.uvarint(uint64(len(m.Answers)))
@@ -342,6 +411,13 @@ func (m *BatchAnswer) encodePayload(w *writer) {
 		w.str(a.Answer)
 		w.str(a.Entity)
 		w.str(a.Confirm)
+		if group {
+			w.str(a.Semantics)
+			w.uvarint(uint64(len(a.Subset)))
+			for _, s := range a.Subset {
+				w.str(s)
+			}
+		}
 	}
 }
 
@@ -639,7 +715,55 @@ func decodeCreate(r *reader, ch uint64) (Message, error) {
 			m.Seeds = append(m.Seeds, seed)
 		}
 	}
+	if flags&createGroup != 0 {
+		if m.Config.GroupStrategy, err = r.str(); err != nil {
+			return nil, err
+		}
+		if m.Config.GroupStrategy == "" {
+			return nil, badFrame("group flag set but group strategy is empty")
+		}
+		k, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		if k > 0 {
+			m.Config.GroupConstraints = make([][2]string, 0, k)
+			for i := 0; i < k; i++ {
+				var c [2]string
+				if c[0], err = r.str(); err != nil {
+					return nil, err
+				}
+				if c[1], err = r.str(); err != nil {
+					return nil, err
+				}
+				m.Config.GroupConstraints = append(m.Config.GroupConstraints, c)
+			}
+		}
+	}
 	return m, nil
+}
+
+// readSubset reads a flag-gated subset block: semantics, member count,
+// member names. Callers enforce their own non-empty requirements.
+func readSubset(r *reader) (sem string, members []string, err error) {
+	if sem, err = r.str(); err != nil {
+		return "", nil, err
+	}
+	n, err := r.count()
+	if err != nil {
+		return "", nil, err
+	}
+	if n > 0 {
+		members = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			s, err := r.str()
+			if err != nil {
+				return "", nil, err
+			}
+			members = append(members, s)
+		}
+	}
+	return sem, members, nil
 }
 
 func decodeQuestion(r *reader, ch uint64) (Message, error) {
@@ -679,6 +803,14 @@ func decodeQuestion(r *reader, ch uint64) (Message, error) {
 			if mq.Error, err = r.str(); err != nil {
 				return nil, err
 			}
+			if mf&memberSubset != 0 {
+				if mq.Semantics, mq.Subset, err = readSubset(r); err != nil {
+					return nil, err
+				}
+				if len(mq.Subset) == 0 {
+					return nil, badFrame("subset flag set but subset is empty")
+				}
+			}
 			m.Members = append(m.Members, mq)
 		}
 	}
@@ -708,6 +840,14 @@ func decodeAnswer(r *reader, ch uint64) (Message, error) {
 	if m.Confirm, err = r.str(); err != nil {
 		return nil, err
 	}
+	if flags&answerSubset != 0 {
+		if m.Semantics, m.Subset, err = readSubset(r); err != nil {
+			return nil, err
+		}
+		if len(m.Subset) == 0 {
+			return nil, badFrame("subset flag set but subset is empty")
+		}
+	}
 	return m, nil
 }
 
@@ -721,6 +861,8 @@ func decodeBatchAnswer(r *reader, ch uint64) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	group := flags&answerSubset != 0
+	anySubset := false
 	if n > 0 {
 		m.Answers = make([]MemberAnswer, 0, n)
 		for i := 0; i < n; i++ {
@@ -737,8 +879,22 @@ func decodeBatchAnswer(r *reader, ch uint64) (Message, error) {
 			if a.Confirm, err = r.str(); err != nil {
 				return nil, err
 			}
+			if group {
+				if a.Semantics, a.Subset, err = readSubset(r); err != nil {
+					return nil, err
+				}
+				if len(a.Subset) > 0 {
+					anySubset = true
+				}
+			}
 			m.Answers = append(m.Answers, a)
 		}
+	}
+	// The encoder sets the flag only when some member asserts a subset;
+	// rejecting the degenerate frame keeps encodings canonical (round-trip
+	// byte identity, which the fuzz targets pin).
+	if group && !anySubset {
+		return nil, badFrame("subset flag set but no member asserts a subset")
 	}
 	return m, nil
 }

@@ -3,21 +3,33 @@ package setdiscovery
 import (
 	"setdiscovery/internal/dataset"
 	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/grouptest"
 )
 
-// Question is the pending interaction of a Session: either a membership
-// question about Entity ("is Entity in your set?") or — for sessions with
-// WithBacktracking, once a single candidate remains — a confirmation
+// Question is the pending interaction of a Session: a membership question
+// about Entity ("is Entity in your set?"), a set-valued question about
+// Subset under Semantics (WithGroupStrategy sessions), or — for sessions
+// with WithBacktracking, once a single candidate remains — a confirmation
 // question about the set named Confirm ("is Confirm your set?"). Exactly one
-// of the two fields is non-empty.
+// of Entity, Subset and Confirm is non-empty.
 type Question struct {
 	Entity  string
 	Confirm string
+
+	// Subset and Semantics carry a group session's set-valued question:
+	// Semantics is "intersects" ("does your set share at least one of
+	// Subset?") or "subset-of" ("is every member of Subset in your set?").
+	Subset    []string
+	Semantics string
 }
 
 // IsConfirm reports whether the question asks for confirmation of a
 // candidate set rather than entity membership.
 func (q Question) IsConfirm() bool { return q.Confirm != "" }
+
+// IsSubset reports whether the question is set-valued (a group-testing
+// question about Subset) rather than about a single entity.
+func (q Question) IsSubset() bool { return len(q.Subset) > 0 }
 
 // sessionCore is the step-wise state machine behind a Session — the
 // interactive loop (discovery.Session) or a prebuilt-tree walk
@@ -73,7 +85,7 @@ func (c *Collection) NewSession(initial []string, opts ...Option) (*Session, err
 	for _, o := range opts {
 		o(&cfg)
 	}
-	f, err := c.factory(cfg)
+	o, err := c.engineOptions(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -81,14 +93,6 @@ func (c *Collection) NewSession(initial []string, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
-	o := discovery.Options{
-		Strategy:      f.New(),
-		MaxQuestions:  cfg.maxQuestions,
-		BatchSize:     cfg.batchSize,
-		Backtrack:     cfg.backtrack,
-		ConfirmTarget: cfg.confirm,
-	}
-	c.attachMemo(cfg, &o)
 	s, err := discovery.NewSession(c.c, init, o)
 	if err != nil {
 		return nil, err
@@ -120,11 +124,25 @@ func (s *Session) Next() (Question, bool) {
 	if set, ok := s.s.PendingConfirm(); ok {
 		return Question{Confirm: set.Name}, false
 	}
+	if core, ok := s.s.(*discovery.Session); ok {
+		if members, sem, ok := core.PendingSubset(); ok {
+			return subsetQuestion(s.c.c, members, sem), false
+		}
+	}
 	e, done := s.s.Next()
 	if done {
 		return Question{}, true
 	}
 	return Question{Entity: s.c.c.EntityName(e)}, false
+}
+
+// subsetQuestion renders a pending set-valued question with entity names.
+func subsetQuestion(c *dataset.Collection, members []dataset.Entity, sem grouptest.Semantics) Question {
+	names := make([]string, len(members))
+	for i, e := range members {
+		names[i] = c.EntityName(e)
+	}
+	return Question{Subset: names, Semantics: sem.String()}
 }
 
 // Answer applies the reply to the pending question and advances the session

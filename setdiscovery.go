@@ -51,6 +51,7 @@ import (
 	"setdiscovery/internal/cost"
 	"setdiscovery/internal/dataset"
 	"setdiscovery/internal/discovery"
+	"setdiscovery/internal/grouptest"
 	"setdiscovery/internal/strategy"
 	"setdiscovery/internal/tree"
 )
@@ -129,6 +130,49 @@ func (c *Collection) factory(cfg config) (strategy.Factory, error) {
 	}
 	c.factories[key] = f
 	return f, nil
+}
+
+// groupFactory builds the group-testing strategy factory for cfg, resolving
+// constraint entity names against this collection. Group factories are not
+// cached: unlike the lookahead strategies they hold no shared memo state, so
+// minting one per session costs nothing worth amortising.
+func (c *Collection) groupFactory(cfg config) (grouptest.Factory, error) {
+	constraints := make([]grouptest.Constraint, 0, len(cfg.groupConstraints))
+	for _, pair := range cfg.groupConstraints {
+		ifID, ok := c.c.Dict().Lookup(pair[0])
+		if !ok {
+			return nil, fmt.Errorf("setdiscovery: group constraint entity %q occurs in no set", pair[0])
+		}
+		thenID, ok := c.c.Dict().Lookup(pair[1])
+		if !ok {
+			return nil, fmt.Errorf("setdiscovery: group constraint entity %q occurs in no set", pair[1])
+		}
+		constraints = append(constraints, grouptest.Constraint{If: ifID, Then: thenID})
+	}
+	return grouptest.New(cfg.groupStrategy, constraints)
+}
+
+// engineOptions maps a configuration to engine options with a freshly minted
+// strategy instance: a group strategy for group configurations (which bypass
+// the entity-keyed selection memo), an entity strategy wired to the
+// collection memo otherwise.
+func (c *Collection) engineOptions(cfg config) (discovery.Options, error) {
+	if cfg.groupStrategy != "" {
+		gf, err := c.groupFactory(cfg)
+		if err != nil {
+			return discovery.Options{}, err
+		}
+		o := discoveryOptions(cfg, nil)
+		o.Group = gf.New()
+		return o, nil
+	}
+	f, err := c.factory(cfg)
+	if err != nil {
+		return discovery.Options{}, err
+	}
+	o := discoveryOptions(cfg, f.New())
+	c.attachMemo(cfg, &o)
+	return o, nil
 }
 
 // selectionMemo returns the collection-wide selection memo, creating it on
@@ -325,6 +369,13 @@ type config struct {
 	backtrack       bool
 	confirm         bool
 	sharedSelection bool
+
+	// groupStrategy switches sessions to set-valued (group-testing)
+	// questions; empty selects the classic entity-question mode.
+	// groupConstraints are "if implies then" entity-name pairs honoured by
+	// the additive strategy.
+	groupStrategy    string
+	groupConstraints [][2]string
 }
 
 func defaultConfig() config {
@@ -386,6 +437,32 @@ func WithCacheBound(n int) Option {
 			n = 0
 		}
 		c.cacheBound = n
+	}
+}
+
+// WithGroupStrategy switches Discover, NewSession and NewBatch to
+// set-valued (group-testing) questions: every interaction asks about a
+// *subset* of entities — "does your set share an entity with S?"
+// (intersects) or "is S contained in your set?" (subset-of) — and an answer
+// halves the candidate space, the interaction shape of software bisection
+// and contaminated-pool screening. Recognised names: "halving" (greedy
+// even-split subsets, ~⌈log₂ n⌉ rounds to a single target) and "additive"
+// (bisect-style multi-culprit search honouring WithGroupConstraint
+// dependencies). Group sessions ignore WithStrategy, WithBatchSize and the
+// shared-selection memo; the oracle must implement GroupOracle. The empty
+// name restores the default entity-question mode.
+func WithGroupStrategy(name string) Option {
+	return func(c *config) { c.groupStrategy = name }
+}
+
+// WithGroupConstraint records the dependency "ifEntity implies thenEntity":
+// any realisable set containing ifEntity also contains thenEntity (enabling
+// a module enables what it depends on). The additive group strategy keeps
+// its probes closed under these constraints; other strategies ignore them.
+// Repeat the option for multiple constraints.
+func WithGroupConstraint(ifEntity, thenEntity string) Option {
+	return func(c *config) {
+		c.groupConstraints = append(c.groupConstraints, [2]string{ifEntity, thenEntity})
 	}
 }
 
@@ -540,6 +617,31 @@ func (o targetOracle) Answer(entity string) Answer {
 // names are unique within a collection), mirroring discovery.TargetOracle.
 func (o targetOracle) Confirm(setName string) bool { return setName == o.s.Name }
 
+// AnswerSubset implements GroupOracle truthfully: under "intersects" the
+// answer is Yes when any member is in the target set, under "subset-of" when
+// every member is. Unknown entity names and unknown semantics are treated as
+// names the target cannot contain.
+func (o targetOracle) AnswerSubset(members []string, semantics string) Answer {
+	sem, err := grouptest.ParseSemantics(semantics)
+	if err != nil {
+		sem = grouptest.SubsetOfTarget // unknown semantics: strictest reading
+	}
+	for _, name := range members {
+		id, ok := o.c.Dict().Lookup(name)
+		contains := ok && o.s.Contains(id)
+		if sem == grouptest.Intersects && contains {
+			return Yes
+		}
+		if sem == grouptest.SubsetOfTarget && !contains {
+			return No
+		}
+	}
+	if sem == grouptest.Intersects {
+		return No
+	}
+	return Yes
+}
+
 // Result reports a discovery run.
 type Result struct {
 	// Target is the uniquely discovered set name, empty when discovery
@@ -575,28 +677,18 @@ func (c *Collection) Discover(initial []string, oracle Oracle, opts ...Option) (
 	for _, o := range opts {
 		o(&cfg)
 	}
-	f, err := c.factory(cfg)
-	if err != nil {
-		return nil, err
-	}
 	// Each session owns a strategy instance; instances from one factory
 	// share the concurrency-safe lookahead cache, so concurrent sessions
 	// are race-free yet amortise each other's selection work.
-	sel := f.New()
+	o, err := c.engineOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
 	init, err := c.lookupInitial(initial)
 	if err != nil {
 		return nil, err
 	}
-	wrapped := oracleAdapter{c: c.c, o: oracle}
-	o := discovery.Options{
-		Strategy:      sel,
-		MaxQuestions:  cfg.maxQuestions,
-		BatchSize:     cfg.batchSize,
-		Backtrack:     cfg.backtrack,
-		ConfirmTarget: cfg.confirm,
-	}
-	c.attachMemo(cfg, &o)
-	res, err := discovery.Run(c.c, init, wrapped, o)
+	res, err := discovery.Run(c.c, init, c.wrapOracle(oracle), o)
 	if err != nil {
 		return nil, err
 	}
@@ -632,6 +724,26 @@ func convertResult(res *discovery.Result) *Result {
 	return out
 }
 
+// GroupOracle answers set-valued questions (WithGroupStrategy sessions):
+// semantics is "intersects" ("does your set share at least one of members?")
+// or "subset-of" ("is every member in your set?"). Discover with a group
+// strategy requires its oracle to implement this interface.
+type GroupOracle interface {
+	Oracle
+	AnswerSubset(members []string, semantics string) Answer
+}
+
+// wrapOracle bridges a public oracle to the engine, forwarding the group
+// capability only when the caller's oracle actually has it — so the engine's
+// "group session requires a GroupOracle" check reflects the real oracle.
+func (c *Collection) wrapOracle(o Oracle) discovery.Oracle {
+	base := oracleAdapter{c: c.c, o: o}
+	if g, ok := o.(GroupOracle); ok {
+		return groupOracleAdapter{oracleAdapter: base, g: g}
+	}
+	return base
+}
+
 // oracleAdapter bridges string oracles to entity-ID oracles, forwarding the
 // optional confirmation capability.
 type oracleAdapter struct {
@@ -655,4 +767,20 @@ func (a oracleAdapter) Confirm(s *dataset.Set) bool {
 		return c.Confirm(s.Name)
 	}
 	return true
+}
+
+// groupOracleAdapter additionally bridges the set-valued question
+// capability: entity IDs become names, semantics its wire string.
+type groupOracleAdapter struct {
+	oracleAdapter
+	g GroupOracle
+}
+
+// AnswerSubset implements discovery.GroupOracle.
+func (a groupOracleAdapter) AnswerSubset(members []dataset.Entity, sem grouptest.Semantics) discovery.Answer {
+	names := make([]string, len(members))
+	for i, e := range members {
+		names[i] = a.c.EntityName(e)
+	}
+	return a.g.AnswerSubset(names, sem.String())
 }

@@ -39,11 +39,21 @@ import (
 //	"SDSS" | version (2) | kind | fingerprint | configuration
 //	      | state length | state payload | memo delta
 //
-// Writers emit version 1 whenever there is no delta to carry, so snapshots
-// without shared-selection state stay byte-identical to earlier releases;
-// decoders accept both versions. The delta is advisory performance state: a
-// restoring side validates and imports it into the collection's memo, but the
-// restored session's behaviour never depends on it.
+// Version 3 marks a group-testing session or batch (WithGroupStrategy): the
+// configuration section is followed by a group section — strategy name plus
+// the WithGroupConstraint entity-name pairs — and the state payload carries
+// the suspended set-valued question. Group sessions bypass the selection
+// memo, so a version-3 envelope never carries a memo delta:
+//
+//	"SDSS" | version (3) | kind | fingerprint | configuration
+//	      | group configuration | state payload
+//
+// Writers emit the lowest sufficient version — 1 whenever there is no delta
+// and no group configuration to carry — so snapshots of entity sessions stay
+// byte-identical to earlier releases; decoders accept all three versions.
+// The delta is advisory performance state: a restoring side validates and
+// imports it into the collection's memo, but the restored session's
+// behaviour never depends on it.
 //
 // The collection fingerprint guards against restoring over a different
 // collection, where set indexes and entity IDs would silently mean something
@@ -58,11 +68,13 @@ const snapshotMagic = "SDSS"
 
 // snapshotVersion is the base envelope version; snapshotVersionDelta marks an
 // envelope whose state payload is length-prefixed and followed by a
-// selection-memo delta. Decoders reject versions they do not know rather than
-// guessing at layouts.
+// selection-memo delta; snapshotVersionGroup marks a group-testing envelope
+// whose configuration is followed by a group section. Decoders reject
+// versions they do not know rather than guessing at layouts.
 const (
 	snapshotVersion      = 1
 	snapshotVersionDelta = 2
+	snapshotVersionGroup = 3
 )
 
 // SnapshotKind discriminates what a snapshot contains.
@@ -103,6 +115,15 @@ var ErrBadSnapshot = errors.New("setdiscovery: invalid snapshot")
 func (s *Session) Snapshot() ([]byte, error) {
 	switch core := s.s.(type) {
 	case *discovery.Session:
+		// Group sessions need the version-3 envelope: restoring one requires
+		// the group section to mint the right strategy. They bypass the
+		// selection memo, so there is never a delta to carry alongside.
+		if s.cfg.groupStrategy != "" {
+			w := newEnvelopeVersion(snapshotVersionGroup, SnapshotSession, s.c.c.ContentFingerprint())
+			w.config(s.cfg)
+			w.groupConfig(s.cfg)
+			return append(w.buf, core.EncodeState()...), nil
+		}
 		// Sessions that visited shared-selection states carry those memo
 		// entries along as a version-2 delta section; others emit the
 		// byte-identical version-1 envelope of earlier releases.
@@ -130,8 +151,15 @@ func (s *Session) Snapshot() ([]byte, error) {
 // the scheduler's amortisation counters. Restore with
 // Collection.RestoreBatch.
 func (b *Batch) Snapshot() ([]byte, error) {
-	w := newEnvelope(SnapshotBatch, b.c.c.ContentFingerprint())
+	version := byte(snapshotVersion)
+	if b.cfg.groupStrategy != "" {
+		version = snapshotVersionGroup
+	}
+	w := newEnvelopeVersion(version, SnapshotBatch, b.c.c.ContentFingerprint())
 	w.config(b.cfg)
+	if b.cfg.groupStrategy != "" {
+		w.groupConfig(b.cfg)
+	}
 	return append(w.buf, b.b.EncodeState()...), nil
 }
 
@@ -146,12 +174,10 @@ func (c *Collection) RestoreSession(data []byte, opts ...Option) (*Session, erro
 	if err != nil {
 		return nil, err
 	}
-	f, err := c.factory(cfg)
+	o, err := c.engineOptions(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
-	o := discoveryOptions(cfg, f.New())
-	c.attachMemo(cfg, &o)
 	s, err := discovery.DecodeSession(c.c, o, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
@@ -192,11 +218,20 @@ func (c *Collection) RestoreBatch(data []byte, opts ...Option) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := c.factory(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+	o := discoveryOptions(cfg, nil)
+	var f strategy.Factory
+	if cfg.groupStrategy != "" {
+		gf, err := c.groupFactory(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+		}
+		o.Group = gf.New()
+	} else {
+		if f, err = c.factory(cfg); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
+		}
 	}
-	b, err := discovery.DecodeBatch(c.c, f, discoveryOptions(cfg, nil), payload)
+	b, err := discovery.DecodeBatch(c.c, f, o, payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
@@ -278,6 +313,22 @@ func (w *envelopeWriter) config(cfg config) {
 	w.buf = append(w.buf, flags)
 }
 
+// groupConfig appends the version-3 group section: the group strategy's name
+// and the constraint entity-name pairs it was configured with. Constraint
+// names (not IDs) travel so the section stays meaningful to a human and the
+// restoring side re-resolves them against its own dictionary.
+func (w *envelopeWriter) groupConfig(cfg config) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(cfg.groupStrategy)))
+	w.buf = append(w.buf, cfg.groupStrategy...)
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(cfg.groupConstraints)))
+	for _, pair := range cfg.groupConstraints {
+		for _, name := range pair {
+			w.buf = binary.AppendUvarint(w.buf, uint64(len(name)))
+			w.buf = append(w.buf, name...)
+		}
+	}
+}
+
 func badSnapshot(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
 }
@@ -293,7 +344,7 @@ func parseHeader(data []byte) (byte, SnapshotKind, dataset.Fingerprint, []byte, 
 		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("bad magic %q", data[:4])
 	}
 	version := data[4]
-	if version != snapshotVersion && version != snapshotVersionDelta {
+	if version != snapshotVersion && version != snapshotVersionDelta && version != snapshotVersionGroup {
 		return 0, 0, dataset.Fingerprint{}, nil, badSnapshot("unknown snapshot version %d", version)
 	}
 	kind := SnapshotKind(data[5])
@@ -337,6 +388,13 @@ func (c *Collection) openEnvelope(data []byte, want SnapshotKind, opts []Option)
 		if rest, err = readConfig(&cfg, rest); err != nil {
 			return cfg, nil, nil, err
 		}
+		if version == snapshotVersionGroup {
+			if rest, err = readGroupConfig(&cfg, rest); err != nil {
+				return cfg, nil, nil, err
+			}
+		}
+	} else if version == snapshotVersionGroup {
+		return cfg, nil, nil, badSnapshot("tree sessions have no group mode")
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -424,4 +482,46 @@ func readConfig(cfg *config, data []byte) ([]byte, error) {
 	cfg.backtrack = data[0]&1 != 0
 	cfg.confirm = data[0]&2 != 0
 	return data[1:], nil
+}
+
+// readGroupConfig decodes the version-3 group section. Strategy and entity
+// names are re-validated downstream (the group factory rejects unknown
+// strategies and constraint entities absent from the collection); here only
+// the framing and untrusted-input bounds are checked.
+func readGroupConfig(cfg *config, data []byte) ([]byte, error) {
+	readString := func(what string, max uint64) (string, error) {
+		n, sz := binary.Uvarint(data)
+		if sz <= 0 || n > max || n > uint64(len(data)-sz) {
+			return "", badSnapshot("truncated group %s", what)
+		}
+		s := string(data[sz : sz+int(n)])
+		data = data[sz+int(n):]
+		return s, nil
+	}
+	name, err := readString("strategy", 64)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		return nil, badSnapshot("empty group strategy in a group envelope")
+	}
+	cfg.groupStrategy = name
+	count, sz := binary.Uvarint(data)
+	if sz <= 0 || count > 1<<16 {
+		return nil, badSnapshot("truncated group constraints")
+	}
+	data = data[sz:]
+	cfg.groupConstraints = nil
+	for i := uint64(0); i < count; i++ {
+		ifName, err := readString("constraint", 1<<10)
+		if err != nil {
+			return nil, err
+		}
+		thenName, err := readString("constraint", 1<<10)
+		if err != nil {
+			return nil, err
+		}
+		cfg.groupConstraints = append(cfg.groupConstraints, [2]string{ifName, thenName})
+	}
+	return data, nil
 }
